@@ -1,0 +1,149 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vn2::bench {
+
+namespace {
+std::size_t g_checks = 0;
+std::size_t g_passed = 0;
+}  // namespace
+
+RunData run_scenario(const scenario::ScenarioBundle& bundle,
+                     wsn::Time warmup) {
+  RunData data;
+  wsn::Simulator sim = bundle.make_simulator();
+  data.result = sim.run();
+  data.trace = trace::build_trace(data.result);
+  data.states = trace::extract_states(data.trace);
+  if (warmup > 0.0) {
+    std::erase_if(data.states, [warmup](const trace::StateVector& s) {
+      return s.time < warmup;
+    });
+  }
+  return data;
+}
+
+double bench_days(double fallback) {
+  if (const char* env = std::getenv("VN2_BENCH_DAYS")) {
+    const double days = std::atof(env);
+    if (days > 0.0) return days;
+  }
+  return fallback;
+}
+
+RunData citysee_run() {
+  scenario::CityseeParams params;
+  params.days = bench_days();
+  std::printf("[setup] CitySee-scale run: %zu nodes, %.1f days, report every "
+              "%.0f s\n",
+              params.node_count, params.days, params.report_period);
+  RunData data = run_scenario(scenario::citysee_field(params));
+  std::printf("[setup] sink received %zu packets, PRR %.3f, %zu states\n",
+              data.result.sink_log.size(), trace::overall_prr(data.result),
+              data.states.size());
+  return data;
+}
+
+RunData testbed_run(scenario::RemovalPattern pattern, std::uint64_t seed) {
+  scenario::TestbedParams params;
+  params.pattern = pattern;
+  params.seed = seed;
+  std::printf("[setup] testbed run: 9x5 grid + sink, 2 h, %s removals\n",
+              pattern == scenario::RemovalPattern::kLocal ? "local"
+                                                          : "expansive");
+  // Short warmup: the 2-hour trace is precious and the grid forms fast.
+  RunData data = run_scenario(scenario::testbed(params), 400.0);
+  std::printf("[setup] sink received %zu packets, %zu states\n",
+              data.result.sink_log.size(), data.states.size());
+  return data;
+}
+
+std::pair<std::vector<trace::StateVector>, std::vector<trace::StateVector>>
+split_states(const std::vector<trace::StateVector>& states, wsn::Time t) {
+  std::pair<std::vector<trace::StateVector>, std::vector<trace::StateVector>>
+      out;
+  for (const trace::StateVector& s : states)
+    (s.time < t ? out.first : out.second).push_back(s);
+  return out;
+}
+
+core::Vn2Tool train_testbed_model(
+    const std::vector<trace::StateVector>& states) {
+  core::Vn2Tool::Options options;
+  // Paper §V-A: the testbed training set is small, so exception extraction
+  // is skipped and everything is compressed together at r = 10.
+  options.training.rank = 10;
+  options.training.skip_exception_extraction = true;
+  options.training.nmf.max_iterations = 400;
+  return core::Vn2Tool::train_from_states(states, options);
+}
+
+void section(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void subsection(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+void print_series(const std::string& name, const std::vector<double>& values,
+                  int precision) {
+  std::printf("%-24s", name.c_str());
+  for (double v : values) std::printf(" %.*f", precision, v);
+  std::printf("\n");
+}
+
+void ascii_plot(const std::string& label, const std::vector<double>& values,
+                std::size_t height) {
+  if (values.empty() || height == 0) return;
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi - lo;
+  std::printf("%s  [min=%.3g max=%.3g]\n", label.c_str(), lo, hi);
+  for (std::size_t level = height; level-- > 0;) {
+    std::printf("  |");
+    for (double v : values) {
+      const double normalized = range > 0.0 ? (v - lo) / range : 0.5;
+      const auto bucket = static_cast<std::size_t>(
+          std::min(normalized * static_cast<double>(height),
+                   static_cast<double>(height) - 1e-9));
+      std::putchar(bucket >= level ? '#' : (level == 0 ? '.' : ' '));
+    }
+    std::printf("|\n");
+  }
+}
+
+void ascii_bars(const std::vector<std::string>& labels,
+                const std::vector<double>& values, std::size_t width) {
+  double hi = 0.0;
+  for (double v : values) hi = std::max(hi, v);
+  for (std::size_t i = 0; i < values.size() && i < labels.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        hi > 0.0 ? values[i] / hi * static_cast<double>(width) : 0.0);
+    std::printf("  %-18s %8.4f |", labels[i].c_str(), values[i]);
+    for (std::size_t b = 0; b < bar; ++b) std::putchar('=');
+    std::printf("\n");
+  }
+}
+
+void shape_check(bool ok, const std::string& message) {
+  ++g_checks;
+  if (ok) ++g_passed;
+  std::printf("%s: %s\n", ok ? "SHAPE-PASS" : "SHAPE-CHECK", message.c_str());
+}
+
+int shape_summary() {
+  std::printf("\n%zu/%zu shape checks passed\n", g_passed, g_checks);
+  return g_passed == g_checks ? 0 : 1;
+}
+
+}  // namespace vn2::bench

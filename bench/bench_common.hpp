@@ -1,0 +1,78 @@
+// Shared infrastructure for the experiment benches: scenario runners,
+// table/series printers, ASCII plots, and qualitative shape checks.
+//
+// Every bench prints the same rows/series the corresponding paper figure or
+// table reports, then self-checks the qualitative shape (who wins, where the
+// knee/crossover sits) and prints SHAPE-PASS / SHAPE-CHECK lines that
+// EXPERIMENTS.md records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/vn2.hpp"
+#include "scenario/scenario.hpp"
+#include "trace/trace.hpp"
+
+namespace vn2::bench {
+
+/// A fully materialized experiment run.
+struct RunData {
+  wsn::SimulationResult result;
+  trace::Trace trace;
+  std::vector<trace::StateVector> states;
+};
+
+/// Runs a scenario and extracts trace + states. `warmup` drops states from
+/// the tree-formation transient at the head of the run.
+RunData run_scenario(const scenario::ScenarioBundle& bundle,
+                     wsn::Time warmup = 1800.0);
+
+/// The standard CitySee training run used by the Fig. 3/4 benches
+/// (7 days, 286 nodes, ambient hazards), possibly scaled down via the
+/// VN2_BENCH_DAYS environment variable (default 7).
+RunData citysee_run();
+
+/// Days resolved from VN2_BENCH_DAYS (default `fallback`).
+double bench_days(double fallback = 7.0);
+
+/// The Fig. 5 testbed run: 45 nodes, 2 h, removal/re-insert cycles.
+RunData testbed_run(scenario::RemovalPattern pattern,
+                    std::uint64_t seed = 1340);
+
+/// Splits states at time `t` into (before, after) — the paper's hour-1
+/// training / hour-2 testing split.
+std::pair<std::vector<trace::StateVector>, std::vector<trace::StateVector>>
+split_states(const std::vector<trace::StateVector>& states, wsn::Time t);
+
+/// Trains the paper's testbed model: all states together (extraction
+/// skipped), compression factor r = 10.
+core::Vn2Tool train_testbed_model(const std::vector<trace::StateVector>& states);
+
+// --- printing --------------------------------------------------------------
+
+void section(const std::string& title);
+void subsection(const std::string& title);
+
+/// Prints "name: v1 v2 v3 ..." with fixed precision.
+void print_series(const std::string& name, const std::vector<double>& values,
+                  int precision = 3);
+
+/// Simple ASCII plot of a series (one row of characters, height levels).
+void ascii_plot(const std::string& label, const std::vector<double>& values,
+                std::size_t height = 8);
+
+/// Bar chart: one labelled row per value.
+void ascii_bars(const std::vector<std::string>& labels,
+                const std::vector<double>& values, std::size_t width = 50);
+
+// --- shape checks ------------------------------------------------------------
+
+/// Prints "SHAPE-PASS: msg" or "SHAPE-CHECK: msg" and tracks the outcome.
+void shape_check(bool ok, const std::string& message);
+
+/// Prints the final summary ("N/M shape checks passed") and returns the
+/// process exit code (0 if all passed).
+int shape_summary();
+
+}  // namespace vn2::bench

@@ -1,0 +1,71 @@
+// Fig. 3(a): metric variations over time. Four injected metrics (Voltage,
+// Neighbor_RSSI_1, Radio_on_time, Receive_counter) plotted as variations
+// (successive diffs); most points hug zero, the discrete outliers are the
+// exceptions the detector flags.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/exception_detection.hpp"
+
+using namespace vn2;
+using metrics::MetricId;
+
+int main() {
+  bench::section("Fig 3(a) — metric variations over time (CitySee-scale)");
+  bench::RunData data = bench::citysee_run();
+
+  // Pick the node with the most states so the series is dense.
+  wsn::NodeId best_node = 1;
+  std::size_t best_count = 0;
+  for (const trace::NodeSeries& series : data.trace.nodes) {
+    if (series.snapshots.size() > best_count) {
+      best_count = series.snapshots.size();
+      best_node = series.node;
+    }
+  }
+
+  const MetricId shown[] = {MetricId::kVoltage, MetricId::kNeighborRssi0,
+                            MetricId::kRadioOnTime, MetricId::kReceiveCounter};
+  for (MetricId metric : shown) {
+    std::vector<double> series;
+    for (const trace::StateVector& state : data.states) {
+      if (state.node != best_node) continue;
+      series.push_back(state.delta[metrics::index_of(metric)]);
+      if (series.size() >= 120) break;  // One plot-width of samples.
+    }
+    bench::subsection(std::string("variation of ") +
+                      std::string(metrics::name(metric)) + " (node " +
+                      std::to_string(best_node) + ")");
+    bench::ascii_plot("  delta", series, 6);
+  }
+
+  // Exception detection over all states (the paper's ε rule).
+  const linalg::Matrix states = trace::states_matrix(data.states);
+  core::ExceptionDetectionOptions options;
+  options.threshold = 0.15;
+  const auto detection = core::detect_exceptions(states, options);
+  const double fraction = static_cast<double>(detection.exception_rows.size()) /
+                          static_cast<double>(states.rows());
+  std::printf("\nstates: %zu, flagged exceptions: %zu (%.1f%%), max eps=%.2f\n",
+              states.rows(), detection.exception_rows.size(), 100.0 * fraction,
+              detection.max_score);
+
+  bench::shape_check(detection.exception_rows.size() > 20,
+                     "exceptions exist in the history log");
+  bench::shape_check(fraction < 0.35,
+                     "normal states dominate; exceptions are the minority");
+  // The outliers are discrete: the flagged scores are well above the median.
+  std::vector<double> scores(detection.scores.begin(), detection.scores.end());
+  std::nth_element(scores.begin(), scores.begin() + scores.size() / 2,
+                   scores.end());
+  const double median = scores[scores.size() / 2];
+  double flagged_mean = 0.0;
+  for (std::size_t row : detection.exception_rows)
+    flagged_mean += detection.scores[row];
+  flagged_mean /= static_cast<double>(detection.exception_rows.size());
+  std::printf("median eps=%.2f, mean flagged eps=%.2f\n", median, flagged_mean);
+  bench::shape_check(flagged_mean > 2.0 * median,
+                     "flagged exceptions stand discretely above the baseline");
+  return bench::shape_summary();
+}

@@ -1,0 +1,77 @@
+// Fig. 3(c): the correlation between each detected exception and the root
+// cause vectors of Ψ. In the paper's scatter each exception row shows points
+// in only a few of the 25 Ψ rows — the sparsity that Algorithm 2 and the
+// Occam's-razor rank choice are designed for.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/inference.hpp"
+#include "core/model.hpp"
+
+using namespace vn2;
+
+int main() {
+  bench::section("Fig 3(c) — exception vs root-cause correlation (r=25)");
+  bench::RunData data = bench::citysee_run();
+
+  core::TrainingOptions options;
+  options.rank = 25;  // The paper's CitySee compression factor.
+  options.nmf.max_iterations = 300;
+  const core::TrainingReport report =
+      core::train(trace::states_matrix(data.states), options);
+  std::printf("trained on %zu exception states (of %zu)\n",
+              report.exception_states, report.training_states);
+
+  // Correlation strengths of every exception against Ψ.
+  linalg::Matrix exceptions;
+  const linalg::Matrix raw = trace::states_matrix(data.states);
+  for (std::size_t row : report.detection.exception_rows)
+    exceptions.append_row(raw.row(row));
+  const linalg::Matrix w =
+      core::correlation_strengths(report.model, exceptions);
+
+  // Sparsity statistics: how many Ψ rows does each exception activate?
+  std::vector<std::size_t> active_histogram(report.model.rank() + 1, 0);
+  double total_active = 0.0;
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    double top = 0.0;
+    for (std::size_t r = 0; r < w.cols(); ++r)
+      top = std::max(top, w(i, r));
+    std::size_t active = 0;
+    for (std::size_t r = 0; r < w.cols(); ++r)
+      if (w(i, r) > 0.1 * top && w(i, r) > 1e-9) ++active;
+    active_histogram[active]++;
+    total_active += static_cast<double>(active);
+  }
+  const double mean_active = total_active / static_cast<double>(w.rows());
+
+  bench::subsection("active root causes per exception (strength > 10% of top)");
+  for (std::size_t k = 0; k <= report.model.rank(); ++k) {
+    if (active_histogram[k] == 0) continue;
+    std::printf("  %2zu causes: %5zu exceptions\n", k, active_histogram[k]);
+  }
+  std::printf("mean active causes per exception: %.2f of %zu\n", mean_active,
+              report.model.rank());
+
+  // Per-row usage (which Ψ rows explain the trace, the scatter's columns).
+  bench::subsection("per-row total correlation strength");
+  std::vector<std::string> labels;
+  std::vector<double> usage;
+  for (std::size_t r = 0; r < w.cols(); ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < w.rows(); ++i) sum += w(i, r);
+    labels.push_back("psi[" + std::to_string(r) + "]");
+    usage.push_back(sum);
+  }
+  bench::ascii_bars(labels, usage);
+
+  bench::shape_check(mean_active <= 0.35 * static_cast<double>(report.model.rank()),
+                     "each exception correlates with a small subset of rows");
+  bench::shape_check(w.rows() > 100, "enough exceptions for the scatter");
+  std::size_t used_rows = 0;
+  for (double u : usage)
+    if (u > 0.01 * usage[0] + 1e-9) ++used_rows;
+  bench::shape_check(used_rows >= report.model.rank() / 2,
+                     "the representative matrix is broadly used, not one row");
+  return bench::shape_summary();
+}

@@ -1,0 +1,92 @@
+// Fig. 4: example rows of the representative matrix Ψ25×43, in the paper's
+// three families — (a) physical/C1 metrics, (b) neighbor RSSI/ETX link
+// quality, (c) protocol counters. Rows are identified by dominant-metric
+// family (NMF row order is permutation-arbitrary under random init).
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/interpretation.hpp"
+#include "core/model.hpp"
+
+using namespace vn2;
+using metrics::MetricFamily;
+
+namespace {
+
+/// Paper's Fig. 4 grouping of our eight metric families.
+enum class Fig4Family { kPhysical, kLinkQuality, kCounters };
+
+Fig4Family fig4_family(MetricFamily family) {
+  switch (family) {
+    case MetricFamily::kEnvironment:
+    case MetricFamily::kEnergy:
+      return Fig4Family::kPhysical;
+    case MetricFamily::kLinkQuality:
+      return Fig4Family::kLinkQuality;
+    default:
+      return Fig4Family::kCounters;
+  }
+}
+
+const char* fig4_name(Fig4Family family) {
+  switch (family) {
+    case Fig4Family::kPhysical: return "physical factors (C1)";
+    case Fig4Family::kLinkQuality: return "link quality (RSSI/ETX)";
+    case Fig4Family::kCounters: return "protocol counters (C3)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  bench::section("Fig 4 — representative matrix features by family");
+  bench::RunData data = bench::citysee_run();
+
+  core::TrainingOptions options;
+  options.rank = 25;
+  options.nmf.max_iterations = 300;
+  const core::TrainingReport report =
+      core::train(trace::states_matrix(data.states), options);
+  const auto interpretations = core::interpret(report.model.psi());
+
+  std::map<Fig4Family, std::vector<std::size_t>> rows_by_family;
+  for (const core::RootCauseInterpretation& interp : interpretations) {
+    if (interp.dominant_metrics.empty()) continue;
+    rows_by_family[fig4_family(interp.dominant_family)].push_back(interp.row);
+  }
+
+  for (Fig4Family family : {Fig4Family::kPhysical, Fig4Family::kLinkQuality,
+                            Fig4Family::kCounters}) {
+    bench::subsection(fig4_name(family));
+    const auto& rows = rows_by_family[family];
+    std::printf("%zu of %zu psi rows in this family\n", rows.size(),
+                interpretations.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(2, rows.size()); ++i) {
+      const std::size_t row = rows[i];
+      const linalg::Vector profile = report.model.root_cause_profile(row);
+      std::vector<double> values(profile.begin(), profile.end());
+      bench::ascii_plot("psi[" + std::to_string(row) + "] profile (43 metrics)",
+                        values, 7);
+      std::printf("  %s\n", interpretations[row].summary.c_str());
+    }
+  }
+
+  bench::shape_check(!rows_by_family[Fig4Family::kPhysical].empty(),
+                     "physical/C1 family present in psi");
+  bench::shape_check(!rows_by_family[Fig4Family::kLinkQuality].empty(),
+                     "link-quality (RSSI/ETX) family present in psi");
+  bench::shape_check(!rows_by_family[Fig4Family::kCounters].empty(),
+                     "protocol-counter family present in psi");
+
+  // Rows are peaky (paper plots spikes at a few metrics, flat elsewhere).
+  double peaky_rows = 0.0;
+  for (const core::RootCauseInterpretation& interp : interpretations)
+    if (!interp.dominant_metrics.empty() && interp.dominant_metrics.size() <= 8)
+      peaky_rows += 1.0;
+  bench::shape_check(
+      peaky_rows >= 0.6 * static_cast<double>(interpretations.size()),
+      "most rows concentrate their variation in a few metrics");
+  return bench::shape_summary();
+}

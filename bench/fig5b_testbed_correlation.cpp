@@ -1,0 +1,68 @@
+// Fig. 5(b): correlations of all training-hour states with the rows of the
+// testbed representative matrix Ψ (r = 10). The paper observes that most
+// exceptions concentrate on a handful of rows (Ψ1, Ψ2, Ψ4, Ψ7, Ψ10 in its
+// indexing) and that each state activates few rows.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/inference.hpp"
+
+using namespace vn2;
+
+int main() {
+  bench::section("Fig 5(b) — testbed training correlation with psi (r=10)");
+  bench::RunData data =
+      bench::testbed_run(scenario::RemovalPattern::kExpansive);
+  auto [train, test] = bench::split_states(data.states, 3600.0);
+  std::printf("training states (hour 1): %zu, testing (hour 2): %zu\n",
+              train.size(), test.size());
+
+  core::Vn2Tool tool = bench::train_testbed_model(train);
+  const linalg::Matrix w = core::correlation_strengths(
+      tool.model(), trace::states_matrix(train));
+
+  bench::subsection("per-row total correlation strength (training hour)");
+  std::vector<std::string> labels;
+  std::vector<double> usage;
+  for (std::size_t r = 0; r < w.cols(); ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < w.rows(); ++i) sum += w(i, r);
+    labels.push_back("psi[" + std::to_string(r) + "]");
+    usage.push_back(sum);
+  }
+  bench::ascii_bars(labels, usage);
+
+  // Sparsity of the scatter.
+  double total_active = 0.0;
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    double top = 0.0;
+    for (std::size_t r = 0; r < w.cols(); ++r) top = std::max(top, w(i, r));
+    for (std::size_t r = 0; r < w.cols(); ++r)
+      if (w(i, r) > 0.1 * top && w(i, r) > 1e-9) total_active += 1.0;
+  }
+  const double mean_active = total_active / static_cast<double>(w.rows());
+  std::printf("mean active rows per state: %.2f of %zu\n", mean_active,
+              tool.model().rank());
+
+  // Paper: a handful of rows dominate. Count rows carrying 80% of the mass.
+  std::vector<double> sorted = usage;
+  std::sort(sorted.rbegin(), sorted.rend());
+  double total = 0.0;
+  for (double u : sorted) total += u;
+  double acc = 0.0;
+  std::size_t dominating = 0;
+  for (double u : sorted) {
+    acc += u;
+    ++dominating;
+    if (acc >= 0.8 * total) break;
+  }
+  std::printf("rows carrying 80%% of total strength: %zu of %zu\n", dominating,
+              tool.model().rank());
+
+  bench::shape_check(mean_active <= 5.0,
+                     "each state correlates with a small subset of rows");
+  bench::shape_check(dominating <= 7,
+                     "a handful of psi rows dominate the testbed trace");
+  bench::shape_check(w.rows() > 200, "enough training states for the scatter");
+  return bench::shape_summary();
+}

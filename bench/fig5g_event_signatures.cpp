@@ -1,0 +1,102 @@
+// Fig. 5(g): correlated-strength distribution over the Ψ rows for the two
+// manually introduced event classes — node failure vs node reboot. The
+// paper's ground truth: failures activate the failure-flavored rows; reboots
+// additionally activate the join/new-neighbor rows, so the two profiles are
+// distinguishable.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/inference.hpp"
+
+using namespace vn2;
+
+namespace {
+
+/// Mean strength profile of states inside any of the given fault windows.
+linalg::Vector profile_for(const core::Vn2Tool& tool,
+                           const std::vector<trace::StateVector>& states,
+                           const std::vector<wsn::InjectedFault>& faults,
+                           wsn::FaultCommand::Type type, wsn::Time tail) {
+  linalg::Matrix inside;
+  for (const trace::StateVector& state : states) {
+    for (const wsn::InjectedFault& fault : faults) {
+      if (fault.command.type != type) continue;
+      if (state.time >= fault.command.start &&
+          state.time <= fault.command.start + tail) {
+        inside.append_row(state.delta.span());
+        break;
+      }
+    }
+  }
+  std::printf("  %zu states in %s windows\n", inside.rows(),
+              type == wsn::FaultCommand::Type::kNodeFailure ? "failure"
+                                                            : "reboot");
+  if (inside.rows() == 0) return linalg::Vector(tool.model().rank());
+  return core::mean_strength_profile(
+      core::correlation_strengths(tool.model(), inside));
+}
+
+}  // namespace
+
+int main() {
+  bench::section("Fig 5(g) — root-cause distribution: failure vs reboot");
+  bench::RunData data =
+      bench::testbed_run(scenario::RemovalPattern::kExpansive);
+  core::Vn2Tool tool = bench::train_testbed_model(data.states);
+
+  // States within 6 minutes (two report epochs) of each event.
+  const wsn::Time tail = 360.0;
+  const linalg::Vector failure_profile =
+      profile_for(tool, data.states, data.result.ground_truth,
+                  wsn::FaultCommand::Type::kNodeFailure, tail);
+  const linalg::Vector reboot_profile =
+      profile_for(tool, data.states, data.result.ground_truth,
+                  wsn::FaultCommand::Type::kNodeReboot, tail);
+
+  bench::subsection("correlated strength per psi row");
+  std::printf("%8s %16s %16s\n", "row", "node failure", "node reboot");
+  for (std::size_t r = 0; r < tool.model().rank(); ++r)
+    std::printf("%8zu %16.4f %16.4f\n", r, failure_profile[r],
+                reboot_profile[r]);
+
+  std::vector<double> failure_values(failure_profile.begin(),
+                                     failure_profile.end());
+  std::vector<double> reboot_values(reboot_profile.begin(),
+                                    reboot_profile.end());
+  bench::ascii_plot("failure profile", failure_values, 6);
+  bench::ascii_plot("reboot profile", reboot_values, 6);
+
+  // Both event classes produce signal.
+  bench::shape_check(linalg::sum(failure_profile) > 0.0,
+                     "failure windows produce correlated strength");
+  bench::shape_check(linalg::sum(reboot_profile) > 0.0,
+                     "reboot windows produce correlated strength");
+
+  // The two distributions are distinguishable but share structure (both
+  // disturb routing): correlated, yet not identical.
+  const double correlation =
+      core::profile_correlation(failure_profile, reboot_profile);
+  std::printf("\nfailure/reboot profile correlation: %.3f\n", correlation);
+  bench::shape_check(correlation < 0.98,
+                     "failure and reboot profiles are distinguishable");
+
+  // Reboot activates some rows substantially more than failures do (the
+  // paper: "if Ψ4 and Ψ10 show variations at the same time, the most likely
+  // reason is a reboot"). NMF row allocation is permutation-arbitrary, so
+  // the claim is checked in relative form: a row carrying real reboot mass
+  // whose reboot strength clearly exceeds its failure strength.
+  const double reboot_max = linalg::norm_inf(reboot_profile);
+  double best_excess = 0.0;
+  for (std::size_t r = 0; r < tool.model().rank(); ++r) {
+    if (reboot_profile[r] < 0.25 * reboot_max) continue;
+    if (failure_profile[r] > 0.0)
+      best_excess =
+          std::max(best_excess, reboot_profile[r] / failure_profile[r]);
+  }
+  std::printf("largest reboot/failure strength ratio on a substantial row: "
+              "%.2f\n",
+              best_excess);
+  bench::shape_check(best_excess >= 1.3,
+                     "reboot activates rows beyond the failure signature");
+  return bench::shape_summary();
+}

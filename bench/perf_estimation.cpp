@@ -1,0 +1,142 @@
+// Extension bench — protocol performance estimation (the paper's §VI
+// future work, made concrete): learn PRR from the correlation-strength
+// profile of each time window, on one multi-fault run, and predict the PRR
+// of a held-out run with fresh fault realizations.
+//
+// Shape claims: (1) the model generalizes (held-out R² clearly above zero);
+// (2) the most damaging fitted coefficients belong to fault-flavored Ψ rows
+// (loops / contention / failures), not to benign environment rows.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/performance.hpp"
+
+using namespace vn2;
+
+namespace {
+
+scenario::ScenarioBundle faulty(std::uint64_t seed) {
+  scenario::ScenarioBundle bundle =
+      scenario::tiny(20, 8.0 * 3600.0, seed, 18.0);
+  std::mt19937_64 rng(seed ^ 0xFACEULL);
+  std::uniform_real_distribution<double> when(2400.0, 7.0 * 3600.0);
+  for (int i = 0; i < 4; ++i) {
+    wsn::FaultCommand jam;
+    jam.type = wsn::FaultCommand::Type::kJammer;
+    jam.center = {30.0, 40.0};
+    jam.radius_m = 80.0;
+    jam.start = when(rng);
+    jam.end = jam.start + 2400.0;
+    jam.magnitude = 0.5;
+    bundle.faults.push_back(jam);
+
+    wsn::FaultCommand loop;
+    loop.type = wsn::FaultCommand::Type::kForcedLoop;
+    loop.node = static_cast<wsn::NodeId>(5 + i);
+    loop.start = when(rng);
+    loop.end = loop.start + 1800.0;
+    bundle.faults.push_back(loop);
+  }
+  return bundle;
+}
+
+}  // namespace
+
+int main() {
+  bench::section("Extension — protocol performance estimation (PRR model)");
+
+  // Two training runs with independent fault timetables: environmental
+  // rhythms (day/night) repeat across runs but fault windows do not, so the
+  // regression cannot blame the diurnal cycle for fault-time losses.
+  bench::RunData train_run_a = bench::run_scenario(faulty(901));
+  bench::RunData train_run_b = bench::run_scenario(faulty(903));
+  bench::RunData test_run = bench::run_scenario(faulty(902));
+
+  std::vector<trace::StateVector> train_states = train_run_a.states;
+  train_states.insert(train_states.end(), train_run_b.states.begin(),
+                      train_run_b.states.end());
+  core::Vn2Tool::Options options;
+  options.training.rank = 10;
+  options.training.skip_exception_extraction = true;
+  core::Vn2Tool tool = core::Vn2Tool::train_from_states(train_states, options);
+
+  const wsn::Time window = 1200.0;
+  auto train_set = core::build_performance_dataset(
+      train_run_a.result, train_run_a.states, tool.model(), window);
+  const auto train_set_b = core::build_performance_dataset(
+      train_run_b.result, train_run_b.states, tool.model(), window);
+  for (std::size_t i = 0; i < train_set_b.profiles.rows(); ++i)
+    train_set.profiles.append_row(train_set_b.profiles.row(i));
+  {
+    std::vector<double> merged(train_set.prr.begin(), train_set.prr.end());
+    merged.insert(merged.end(), train_set_b.prr.begin(),
+                  train_set_b.prr.end());
+    train_set.prr = linalg::Vector(std::move(merged));
+  }
+  const auto test_set = core::build_performance_dataset(
+      test_run.result, test_run.states, tool.model(), window);
+  std::printf("windows: train %zu, held-out %zu\n", train_set.profiles.rows(),
+              test_set.profiles.rows());
+
+  const core::PrrEstimator estimator =
+      core::PrrEstimator::fit(train_set.profiles, train_set.prr, 1e-2);
+  const double train_r2 = estimator.r_squared(train_set.profiles,
+                                              train_set.prr);
+  const double test_r2 = estimator.r_squared(test_set.profiles, test_set.prr);
+  std::printf("R^2: train %.3f, held-out %.3f\n", train_r2, test_r2);
+
+  bench::subsection("fitted PRR impact per root-cause vector");
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  for (std::size_t r = 0; r < estimator.coefficients().size(); ++r) {
+    labels.push_back("psi[" + std::to_string(r) + "]");
+    values.push_back(-estimator.coefficients()[r]);  // Positive = damaging.
+    std::printf("  psi[%zu] %+.4f  %s\n", r, estimator.coefficients()[r],
+                tool.interpretations()[r].summary.c_str());
+  }
+
+  bench::subsection("held-out predictions vs truth (first 12 windows)");
+  for (std::size_t i = 0; i < std::min<std::size_t>(12, test_set.prr.size());
+       ++i) {
+    std::printf("  t=%7.0fs  predicted %.3f  actual %.3f\n",
+                test_set.window_starts[i],
+                estimator.predict(test_set.profiles.row_vector(i)),
+                test_set.prr[i]);
+  }
+
+  bench::shape_check(train_r2 > 0.4,
+                     "strength profiles explain in-sample PRR variance");
+  bench::shape_check(test_r2 > 0.2,
+                     "the PRR model generalizes to a held-out run");
+
+  // At least one of the two most damaging coefficients should belong to a
+  // fault-flavored row (routing / contention / queue / link / traffic).
+  std::vector<std::pair<double, std::size_t>> by_damage;
+  for (std::size_t r = 0; r < estimator.coefficients().size(); ++r)
+    by_damage.emplace_back(estimator.coefficients()[r], r);
+  std::sort(by_damage.begin(), by_damage.end());
+  bool fault_flavored = false;
+  for (std::size_t k = 0; k < 2 && k < by_damage.size(); ++k) {
+    const auto& interp = tool.interpretations()[by_damage[k].second];
+    std::printf("\ndamage rank %zu: psi[%zu] (%s)\n", k + 1,
+                by_damage[k].second, interp.summary.c_str());
+    for (const auto& [metric, value] : interp.dominant_metrics) {
+      switch (metrics::family(metric)) {
+        case metrics::MetricFamily::kRouting:
+        case metrics::MetricFamily::kContention:
+        case metrics::MetricFamily::kQueue:
+        case metrics::MetricFamily::kLinkQuality:
+        case metrics::MetricFamily::kTraffic:
+          fault_flavored = true;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  bench::shape_check(fault_flavored,
+                     "a top-2 damaging row is fault-flavored, not benign");
+  return bench::shape_summary();
+}

@@ -1,0 +1,83 @@
+// Micro-benchmarks: online diagnosis latency — the NNLS solve of Problem 3
+// per fresh state, across compression factors, plus batch throughput. This
+// is the cost a sink-side monitor pays per incoming report.
+#include <benchmark/benchmark.h>
+
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "linalg/nnls.hpp"
+#include "linalg/random.hpp"
+#include "test_support_synthetic.hpp"
+
+namespace {
+
+using vn2::core::TrainingOptions;
+using vn2::core::TrainingReport;
+using vn2::linalg::Matrix;
+using vn2::linalg::Vector;
+
+TrainingReport trained_model(std::size_t rank) {
+  auto synthetic = vn2::bench_support::synthetic_states(2000, 77);
+  TrainingOptions options;
+  options.rank = rank;
+  options.nmf.max_iterations = 120;
+  return vn2::core::train(synthetic, options);
+}
+
+void BM_DiagnoseSingleState(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  const TrainingReport report = trained_model(rank);
+  const auto probes = vn2::bench_support::synthetic_states(64, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto diagnosis = vn2::core::diagnose(
+        report.model, probes.row_vector(i % probes.rows()));
+    benchmark::DoNotOptimize(diagnosis.residual);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiagnoseSingleState)->Arg(10)->Arg(25)->Arg(40);
+
+void BM_BatchCorrelationStrengths(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const TrainingReport report = trained_model(25);
+  const Matrix probes = vn2::bench_support::synthetic_states(batch, 6);
+  for (auto _ : state) {
+    const Matrix w = vn2::core::correlation_strengths(report.model, probes);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchCorrelationStrengths)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RawNnls(benchmark::State& state) {
+  const auto r = static_cast<std::size_t>(state.range(0));
+  const Matrix a = vn2::linalg::random_uniform_matrix(86, r, 3, 0.0, 1.0);
+  const Vector b = vn2::linalg::random_uniform_vector(86, 4, 0.0, 2.0);
+  for (auto _ : state) {
+    auto result = vn2::linalg::nnls(a, b);
+    benchmark::DoNotOptimize(result.x.data());
+  }
+}
+BENCHMARK(BM_RawNnls)->Arg(10)->Arg(25)->Arg(40);
+
+void BM_ExceptionScore(benchmark::State& state) {
+  const TrainingReport report = trained_model(25);
+  const auto probes = vn2::bench_support::synthetic_states(64, 9);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        report.model.exception_score(probes.row_vector(i % probes.rows())));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExceptionScore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

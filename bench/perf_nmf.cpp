@@ -1,0 +1,75 @@
+// Micro-benchmarks: NMF training cost — per-iteration multiplicative update
+// and full factorization, across state counts and compression factors.
+#include <benchmark/benchmark.h>
+
+#include "linalg/random.hpp"
+#include "nmf/nmf.hpp"
+#include "nmf/sparsify.hpp"
+
+namespace {
+
+using vn2::linalg::Matrix;
+
+Matrix exceptions_like(std::size_t n, std::size_t m, std::uint64_t seed) {
+  // Non-negative, mostly-small entries with occasional spikes — the texture
+  // of an encoded exceptions matrix.
+  Matrix e = vn2::linalg::random_uniform_matrix(n, m, seed, 0.0, 0.5);
+  std::mt19937_64 rng(seed + 1);
+  std::uniform_int_distribution<std::size_t> idx(0, e.size() - 1);
+  for (std::size_t k = 0; k < e.size() / 20; ++k) e.data()[idx(rng)] = 8.0;
+  return e;
+}
+
+void BM_MultiplicativeUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto r = static_cast<std::size_t>(state.range(1));
+  const std::size_t m = 86;  // Encoded metric space.
+  const Matrix e = exceptions_like(n, m, 7);
+  Matrix w = vn2::linalg::random_uniform_matrix(n, r, 8, 0.05, 1.0);
+  Matrix psi = vn2::linalg::random_uniform_matrix(r, m, 9, 0.05, 1.0);
+  for (auto _ : state) {
+    vn2::nmf::multiplicative_update(e, w, psi);
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MultiplicativeUpdate)
+    ->Args({200, 10})
+    ->Args({1000, 10})
+    ->Args({1000, 25})
+    ->Args({5000, 25})
+    ->Args({20000, 25})
+    ->Args({5000, 40});
+
+void BM_FullFactorization(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto r = static_cast<std::size_t>(state.range(1));
+  const Matrix e = exceptions_like(n, 86, 11);
+  vn2::nmf::NmfOptions options;
+  options.max_iterations = 100;
+  options.relative_tolerance = 0.0;  // Fixed work for comparability.
+  options.record_objective = false;
+  for (auto _ : state) {
+    auto result = vn2::nmf::factorize(e, r, options);
+    benchmark::DoNotOptimize(result.psi.data());
+  }
+}
+BENCHMARK(BM_FullFactorization)
+    ->Args({500, 10})
+    ->Args({2000, 25})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Sparsify(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix w = vn2::linalg::random_uniform_matrix(n, 25, 3, 0.0, 1.0);
+  for (auto _ : state) {
+    auto result = vn2::nmf::sparsify(w);
+    benchmark::DoNotOptimize(result.w_sparse.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 25);
+}
+BENCHMARK(BM_Sparsify)->Arg(1000)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

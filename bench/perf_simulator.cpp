@@ -1,0 +1,52 @@
+// Micro-benchmarks: simulator throughput — wall time per simulated hour at
+// testbed and field scales, and the cost of the trace pipeline.
+#include <benchmark/benchmark.h>
+
+#include "scenario/scenario.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using vn2::scenario::CityseeParams;
+using vn2::scenario::ScenarioBundle;
+
+void BM_SimulateTinyHour(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ScenarioBundle bundle = vn2::scenario::tiny(nodes, 3600.0, 11);
+    auto result = bundle.make_simulator().run();
+    benchmark::DoNotOptimize(result.sink_log.size());
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_SimulateTinyHour)->Arg(9)->Arg(25)->Arg(45)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateCityseeHour(benchmark::State& state) {
+  for (auto _ : state) {
+    CityseeParams params;
+    params.days = 1.0 / 24.0;
+    params.background_hazards = false;
+    ScenarioBundle bundle = vn2::scenario::citysee_field(params);
+    auto result = bundle.make_simulator().run();
+    benchmark::DoNotOptimize(result.sink_log.size());
+  }
+  state.SetLabel("286 nodes, 1 simulated hour");
+}
+BENCHMARK(BM_SimulateCityseeHour)->Unit(benchmark::kMillisecond);
+
+void BM_TracePipeline(benchmark::State& state) {
+  ScenarioBundle bundle = vn2::scenario::tiny(25, 7200.0, 13);
+  auto result = bundle.make_simulator().run();
+  for (auto _ : state) {
+    auto trace = vn2::trace::build_trace(result);
+    auto states = vn2::trace::extract_states(trace);
+    benchmark::DoNotOptimize(states.size());
+  }
+  state.SetLabel(std::to_string(result.sink_log.size()) + " packets");
+}
+BENCHMARK(BM_TracePipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+// Synthetic raw-state generator shared by the perf micro-benches (kept out
+// of the figure benches, which use real simulation traces).
+#pragma once
+
+#include <random>
+
+#include "linalg/matrix.hpp"
+#include "metrics/schema.hpp"
+
+namespace vn2::bench_support {
+
+/// n × 43 raw states: unit Gaussian noise with sporadic counter spikes.
+inline linalg::Matrix synthetic_states(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> column(0,
+                                                    metrics::kMetricCount - 1);
+  linalg::Matrix states(n, metrics::kMetricCount);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t m = 0; m < metrics::kMetricCount; ++m)
+      states(i, m) = noise(rng);
+    if (i % 7 == 0) states(i, column(rng)) += 9.0;
+  }
+  return states;
+}
+
+}  // namespace vn2::bench_support

@@ -1,0 +1,114 @@
+#include "baselines/agnostic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vn2::baselines {
+
+using linalg::Matrix;
+
+Matrix correlation_matrix(const Matrix& states, std::size_t start,
+                          std::size_t count) {
+  if (start + count > states.rows() || count < 2)
+    throw std::invalid_argument("correlation_matrix: bad window");
+  const std::size_t m = states.cols();
+
+  std::vector<double> mean(m, 0.0), std_dev(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < count; ++i) mean[j] += states(start + i, j);
+    mean[j] /= static_cast<double>(count);
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const double d = states(start + i, j) - mean[j];
+      std_dev[j] += d * d;
+    }
+    std_dev[j] = std::sqrt(std_dev[j] / static_cast<double>(count));
+  }
+
+  Matrix corr(m, m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    corr(a, a) = 1.0;
+    for (std::size_t b = a + 1; b < m; ++b) {
+      if (std_dev[a] <= 0.0 || std_dev[b] <= 0.0) continue;
+      double cov = 0.0;
+      for (std::size_t i = 0; i < count; ++i)
+        cov += (states(start + i, a) - mean[a]) *
+               (states(start + i, b) - mean[b]);
+      cov /= static_cast<double>(count);
+      const double r = cov / (std_dev[a] * std_dev[b]);
+      corr(a, b) = r;
+      corr(b, a) = r;
+    }
+  }
+  return corr;
+}
+
+double AgnosticDetector::window_deviation(const Matrix& states,
+                                          std::size_t start) const {
+  const Matrix corr = correlation_matrix(states, start, options_.window);
+  const std::size_t m = corr.rows();
+  double acc = 0.0;
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      if (!edge_mask_[a * m + b]) continue;
+      const double d = corr(a, b) - reference_(a, b);
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+AgnosticDetector AgnosticDetector::fit(const Matrix& training_states,
+                                       const AgnosticOptions& options) {
+  if (training_states.rows() < 2 * options.window)
+    throw std::invalid_argument(
+        "AgnosticDetector::fit: need at least two windows of training data");
+
+  AgnosticDetector detector;
+  detector.options_ = options;
+  detector.reference_ =
+      correlation_matrix(training_states, 0, training_states.rows());
+
+  const std::size_t m = training_states.cols();
+  detector.edge_mask_.assign(m * m, false);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      if (std::abs(detector.reference_(a, b)) >= options.edge_threshold) {
+        detector.edge_mask_[a * m + b] = true;
+        detector.edges_++;
+      }
+    }
+  }
+
+  // Calibrate the abnormality threshold on training windows.
+  std::vector<double> deviations;
+  for (std::size_t start = 0; start + options.window <= training_states.rows();
+       start += options.window)
+    deviations.push_back(detector.window_deviation(training_states, start));
+  double mean = 0.0;
+  for (double d : deviations) mean += d;
+  mean /= static_cast<double>(deviations.size());
+  double var = 0.0;
+  for (double d : deviations) var += (d - mean) * (d - mean);
+  var /= static_cast<double>(deviations.size());
+  detector.threshold_ = mean + options.z_threshold * std::sqrt(var);
+  return detector;
+}
+
+std::vector<AgnosticVerdict> AgnosticDetector::detect(
+    const Matrix& states) const {
+  std::vector<AgnosticVerdict> verdicts;
+  for (std::size_t start = 0; start + options_.window <= states.rows();
+       start += options_.window) {
+    AgnosticVerdict verdict;
+    verdict.window_start = start;
+    verdict.deviation = window_deviation(states, start);
+    verdict.abnormal = verdict.deviation > threshold_;
+    verdicts.push_back(verdict);
+  }
+  return verdicts;
+}
+
+}  // namespace vn2::baselines

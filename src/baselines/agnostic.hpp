@@ -1,0 +1,66 @@
+// Agnostic-Diagnosis-style baseline (Miao et al., INFOCOM 2011).
+//
+// Exploits correlations among a node's metrics: a correlation graph is
+// learnt over a training window; at detection time the correlation structure
+// of a sliding window of recent states is compared against it. A large
+// structural deviation flags the window as abnormal. By construction the
+// verdict is COARSE — good/bad only, no root-cause explanation — which is
+// the limitation the paper positions VN2 against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace vn2::baselines {
+
+struct AgnosticOptions {
+  std::size_t window = 16;        ///< States per correlation window.
+  /// Windows with deviation above mean + z·std of training deviations are
+  /// flagged.
+  double z_threshold = 3.0;
+  /// Only metric pairs with |training correlation| above this enter the
+  /// graph (weak edges are noise).
+  double edge_threshold = 0.5;
+};
+
+struct AgnosticVerdict {
+  std::size_t window_start = 0;  ///< First state index of the window.
+  double deviation = 0.0;        ///< ‖C_train − C_window‖ over graph edges.
+  bool abnormal = false;
+};
+
+class AgnosticDetector {
+ public:
+  /// Learns the reference correlation graph from training states (n × m).
+  /// Throws std::invalid_argument if fewer than 2·window rows.
+  static AgnosticDetector fit(const linalg::Matrix& training_states,
+                              const AgnosticOptions& options = {});
+
+  /// Scores every full window of the given state sequence.
+  [[nodiscard]] std::vector<AgnosticVerdict> detect(
+      const linalg::Matrix& states) const;
+
+  [[nodiscard]] const linalg::Matrix& reference_correlation() const noexcept {
+    return reference_;
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  AgnosticOptions options_;
+  linalg::Matrix reference_;     ///< m × m training correlations.
+  std::vector<bool> edge_mask_;  ///< Row-major m × m, pairs in the graph.
+  std::size_t edges_ = 0;
+  double threshold_ = 0.0;
+
+  [[nodiscard]] double window_deviation(const linalg::Matrix& states,
+                                        std::size_t start) const;
+};
+
+/// Pearson correlation matrix of the rows [start, start+count) of `states`.
+linalg::Matrix correlation_matrix(const linalg::Matrix& states,
+                                  std::size_t start, std::size_t count);
+
+}  // namespace vn2::baselines

@@ -1,0 +1,137 @@
+#include "baselines/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace vn2::baselines {
+
+using linalg::Matrix;
+
+namespace {
+
+double squared_distance(const Matrix& data, std::size_t row,
+                        const Matrix& centroids, std::size_t c) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < data.cols(); ++j) {
+    const double d = data(row, j) - centroids(c, j);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KmeansResult kmeans(const Matrix& data, std::size_t k,
+                    const KmeansOptions& options) {
+  if (data.rows() == 0 || data.cols() == 0)
+    throw std::invalid_argument("kmeans: empty data");
+  if (k == 0 || k > data.rows())
+    throw std::invalid_argument("kmeans: k must be in [1, rows]");
+
+  const std::size_t n = data.rows();
+  const std::size_t m = data.cols();
+  std::mt19937_64 rng(options.seed);
+
+  // k-means++ seeding: first centroid uniform, then proportional to the
+  // squared distance to the nearest chosen centroid.
+  KmeansResult result;
+  result.centroids = Matrix(k, m);
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  {
+    std::uniform_int_distribution<std::size_t> first(0, n - 1);
+    const std::size_t pick = first(rng);
+    for (std::size_t j = 0; j < m; ++j)
+      result.centroids(0, j) = data(pick, j);
+  }
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      nearest[i] = std::min(nearest[i],
+                            squared_distance(data, i, result.centroids, c - 1));
+      total += nearest[i];
+    }
+    std::size_t pick = 0;
+    if (total > 0.0) {
+      std::uniform_real_distribution<double> dist(0.0, total);
+      double target = dist(rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= nearest[i];
+        if (target <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      std::uniform_int_distribution<std::size_t> any(0, n - 1);
+      pick = any(rng);
+    }
+    for (std::size_t j = 0; j < m; ++j)
+      result.centroids(c, j) = data(pick, j);
+  }
+
+  // Lloyd iterations.
+  result.assignment.assign(n, 0);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(data, i, result.centroids, c);
+        if (d < best_distance) {
+          best_distance = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+
+    Matrix next(k, m, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      counts[result.assignment[i]]++;
+      for (std::size_t j = 0; j < m; ++j)
+        next(result.assignment[i], j) += data(i, j);
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Empty cluster keeps its centroid.
+      for (std::size_t j = 0; j < m; ++j) {
+        const double updated = next(c, j) / static_cast<double>(counts[c]);
+        const double delta = updated - result.centroids(c, j);
+        movement += delta * delta;
+        result.centroids(c, j) = updated;
+      }
+    }
+
+    if (!changed || std::sqrt(movement) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    result.inertia +=
+        squared_distance(data, i, result.centroids, result.assignment[i]);
+  return result;
+}
+
+Matrix kmeans_reconstruct(const KmeansResult& result, std::size_t rows) {
+  if (result.assignment.size() != rows)
+    throw std::invalid_argument("kmeans_reconstruct: row count mismatch");
+  Matrix out(rows, result.centroids.cols());
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < result.centroids.cols(); ++j)
+      out(i, j) = result.centroids(result.assignment[i], j);
+  return out;
+}
+
+}  // namespace vn2::baselines

@@ -1,0 +1,44 @@
+// k-means clustering baseline for root-cause extraction.
+//
+// The obvious non-factorization alternative to NMF: cluster the exception
+// states and call the centroids "root causes". Its structural limitation is
+// exactly the paper's drawback 1 in another guise — hard assignment gives
+// every state ONE cause, so states produced by two simultaneous faults land
+// between centroids and reconstruct poorly. The ablation bench quantifies
+// this against NMF's additive multi-cause decomposition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace vn2::baselines {
+
+struct KmeansOptions {
+  std::size_t max_iterations = 100;
+  /// Stop when no assignment changes (always checked) or centroid movement
+  /// falls below this L2 threshold.
+  double tolerance = 1e-8;
+  std::uint64_t seed = 0x4B3A25ULL;  ///< k-means++ seeding.
+};
+
+struct KmeansResult {
+  linalg::Matrix centroids;            ///< k × m.
+  std::vector<std::size_t> assignment; ///< Per data row, its cluster.
+  double inertia = 0.0;                ///< Σ squared distance to centroid.
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Lloyd's algorithm with k-means++ initialization.
+/// Throws std::invalid_argument if k == 0, k > rows, or data is empty.
+KmeansResult kmeans(const linalg::Matrix& data, std::size_t k,
+                    const KmeansOptions& options = {});
+
+/// Reconstruction of each row by its assigned centroid — the clustering
+/// analogue of W·Ψ, for apples-to-apples accuracy comparison.
+linalg::Matrix kmeans_reconstruct(const KmeansResult& result,
+                                  std::size_t rows);
+
+}  // namespace vn2::baselines

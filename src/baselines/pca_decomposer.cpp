@@ -1,0 +1,52 @@
+#include "baselines/pca_decomposer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace vn2::baselines {
+
+using linalg::Matrix;
+
+FactorStats factor_stats(const Matrix& components) {
+  FactorStats stats;
+  if (components.rows() == 0) return stats;
+  std::size_t negatives = 0, total = 0;
+  double concentration_sum = 0.0;
+  for (std::size_t r = 0; r < components.rows(); ++r) {
+    std::vector<double> magnitudes;
+    magnitudes.reserve(components.cols());
+    double mass = 0.0;
+    for (std::size_t c = 0; c < components.cols(); ++c) {
+      const double v = components(r, c);
+      if (v < 0.0) ++negatives;
+      ++total;
+      magnitudes.push_back(std::abs(v));
+      mass += std::abs(v);
+    }
+    std::sort(magnitudes.rbegin(), magnitudes.rend());
+    double top = 0.0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, magnitudes.size());
+         ++i)
+      top += magnitudes[i];
+    concentration_sum += mass > 0.0 ? top / mass : 0.0;
+  }
+  stats.component_concentration =
+      concentration_sum / static_cast<double>(components.rows());
+  stats.negative_fraction =
+      total ? static_cast<double>(negatives) / static_cast<double>(total) : 0.0;
+  return stats;
+}
+
+PcaDecomposition pca_decompose(const Matrix& exceptions, std::size_t rank) {
+  PcaDecomposition out;
+  out.model = linalg::pca(exceptions, rank);
+  out.approximation_accuracy =
+      linalg::frobenius_distance(exceptions, linalg::pca_reconstruct(out.model));
+  const FactorStats stats = factor_stats(out.model.components);
+  out.component_concentration = stats.component_concentration;
+  out.negative_fraction = stats.negative_fraction;
+  return out;
+}
+
+}  // namespace vn2::baselines

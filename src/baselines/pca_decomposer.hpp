@@ -1,0 +1,39 @@
+// PCA decomposition baseline: the obvious alternative to NMF for
+// compressing exception states. It reconstructs at least as accurately at
+// equal rank (PCA is the optimal linear compressor), but its components are
+// dense and sign-indefinite, so they cannot be read as additive root causes
+// — the interpretability contrast the paper's NMF choice rests on. The
+// ablation bench quantifies both sides.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "linalg/pca.hpp"
+
+namespace vn2::baselines {
+
+struct PcaDecomposition {
+  linalg::PcaResult model;
+  double approximation_accuracy = 0.0;  ///< ‖E − reconstruction‖_F.
+  /// Mean fraction of a component's mass concentrated in its top 5 metrics —
+  /// a sparsity/interpretability proxy (1.0 = perfectly concentrated).
+  double component_concentration = 0.0;
+  /// Fraction of component entries that are negative (NMF: always 0).
+  double negative_fraction = 0.0;
+};
+
+/// Decomposes an exception matrix at rank k and computes the comparison
+/// statistics used by the NMF-vs-PCA ablation.
+PcaDecomposition pca_decompose(const linalg::Matrix& exceptions,
+                               std::size_t rank);
+
+/// Same statistics for an NMF representative matrix, for side-by-side
+/// reporting.
+struct FactorStats {
+  double component_concentration = 0.0;
+  double negative_fraction = 0.0;
+};
+FactorStats factor_stats(const linalg::Matrix& components);
+
+}  // namespace vn2::baselines

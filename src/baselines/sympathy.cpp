@@ -1,0 +1,87 @@
+#include "baselines/sympathy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace vn2::baselines {
+
+using metrics::HazardEvent;
+using metrics::MetricId;
+
+SympathyDiagnoser::SympathyDiagnoser(SympathyThresholds thresholds)
+    : thresholds_(thresholds) {}
+
+namespace {
+
+double quantile_of(const linalg::Matrix& states, MetricId id, double q) {
+  std::vector<double> column;
+  column.reserve(states.rows());
+  const std::size_t j = metrics::index_of(id);
+  for (std::size_t i = 0; i < states.rows(); ++i)
+    column.push_back(states(i, j));
+  std::sort(column.begin(), column.end());
+  const double pos = q * static_cast<double>(column.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, column.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return column[lo] * (1.0 - frac) + column[hi] * frac;
+}
+
+}  // namespace
+
+SympathyDiagnoser SympathyDiagnoser::fit(const linalg::Matrix& training_states,
+                                         double quantile) {
+  if (training_states.rows() == 0 ||
+      training_states.cols() != metrics::kMetricCount)
+    throw std::invalid_argument("SympathyDiagnoser::fit: need n x 43 states");
+  SympathyThresholds t;
+  t.voltage_drop =
+      quantile_of(training_states, MetricId::kVoltage, 1.0 - quantile);
+  t.no_parent =
+      quantile_of(training_states, MetricId::kNoParentCounter, quantile);
+  t.loop = quantile_of(training_states, MetricId::kLoopCounter, quantile);
+  t.overflow =
+      quantile_of(training_states, MetricId::kOverflowDropCounter, quantile);
+  t.mac_backoff =
+      quantile_of(training_states, MetricId::kMacBackoffCounter, quantile);
+  t.noack =
+      quantile_of(training_states, MetricId::kNoackRetransmitCounter, quantile);
+  t.parent_change =
+      quantile_of(training_states, MetricId::kParentChangeCounter, quantile);
+  t.neighbor_gain =
+      quantile_of(training_states, MetricId::kNeighborNum, quantile);
+  t.duplicate =
+      quantile_of(training_states, MetricId::kDuplicateCounter, quantile);
+  return SympathyDiagnoser(t);
+}
+
+std::optional<HazardEvent> SympathyDiagnoser::diagnose(
+    const linalg::Vector& raw_state) const {
+  if (raw_state.size() != metrics::kMetricCount)
+    throw std::invalid_argument("SympathyDiagnoser: state must have 43 entries");
+  auto value = [&](MetricId id) { return raw_state[metrics::index_of(id)]; };
+
+  // Fixed expert ordering; first hit wins — by design, exactly one verdict.
+  if (value(MetricId::kVoltage) < thresholds_.voltage_drop)
+    return HazardEvent::kNodeLowVoltage;
+  if (value(MetricId::kNoParentCounter) > thresholds_.no_parent)
+    return HazardEvent::kNodeFailure;
+  if (value(MetricId::kLoopCounter) > thresholds_.loop)
+    return HazardEvent::kRoutingLoop;
+  if (value(MetricId::kOverflowDropCounter) > thresholds_.overflow)
+    return HazardEvent::kQueueOverflow;
+  if (value(MetricId::kMacBackoffCounter) > thresholds_.mac_backoff)
+    return HazardEvent::kContention;
+  if (value(MetricId::kNoackRetransmitCounter) > thresholds_.noack)
+    return HazardEvent::kLinkDegradation;
+  if (value(MetricId::kParentChangeCounter) > thresholds_.parent_change)
+    return HazardEvent::kFrequentParentChange;
+  if (value(MetricId::kNeighborNum) > thresholds_.neighbor_gain)
+    return HazardEvent::kNodeReboot;
+  if (value(MetricId::kDuplicateCounter) > thresholds_.duplicate)
+    return HazardEvent::kDuplicateStorm;
+  return std::nullopt;
+}
+
+}  // namespace vn2::baselines

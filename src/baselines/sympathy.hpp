@@ -1,0 +1,53 @@
+// Sympathy-style baseline diagnoser (Ramanathan et al., SenSys 2005).
+//
+// The paper's "drawback 1" strawman: an evidence-driven decision tree that
+// walks a fixed, expert-ordered list of threshold rules and stops at the
+// FIRST rule that fires — so every abnormal state is attributed to exactly
+// one root cause, even when several act simultaneously. Thresholds can be
+// fit from training data (percentile rule) to give the baseline its best
+// shot.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "metrics/hazards.hpp"
+
+namespace vn2::baselines {
+
+struct SympathyThresholds {
+  double voltage_drop = -0.05;       ///< ΔVoltage below this → power issue.
+  double no_parent = 0.5;            ///< ΔNo_parent_counter above this.
+  double loop = 0.5;                 ///< ΔLoop_counter.
+  double overflow = 0.5;             ///< ΔOverflow_drop_counter.
+  double mac_backoff = 5.0;          ///< ΔMacI_backoff_counter.
+  double noack = 5.0;                ///< ΔNOACK_retransmit_counter.
+  double parent_change = 1.5;        ///< ΔParent_change_counter.
+  double neighbor_gain = 0.5;        ///< ΔNeighbor_num above this → join.
+  double duplicate = 3.0;            ///< ΔDuplicate_counter.
+};
+
+class SympathyDiagnoser {
+ public:
+  explicit SympathyDiagnoser(SympathyThresholds thresholds = {});
+
+  /// Fits thresholds at the given upper quantile of each rule metric's
+  /// training distribution (voltage uses the lower quantile).
+  static SympathyDiagnoser fit(const linalg::Matrix& training_states,
+                               double quantile = 0.98);
+
+  /// Walks the decision tree. Returns the single root cause of the first
+  /// rule that fires, or nullopt (state judged normal).
+  [[nodiscard]] std::optional<metrics::HazardEvent> diagnose(
+      const linalg::Vector& raw_state) const;
+
+  [[nodiscard]] const SympathyThresholds& thresholds() const noexcept {
+    return thresholds_;
+  }
+
+ private:
+  SympathyThresholds thresholds_;
+};
+
+}  // namespace vn2::baselines

@@ -1,0 +1,111 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vn2::core {
+
+using metrics::HazardEvent;
+
+std::vector<HazardPrediction> predict_hazards(
+    const std::vector<trace::StateVector>& states,
+    const std::vector<Diagnosis>& diagnoses,
+    const std::vector<RootCauseInterpretation>& interpretations,
+    const EvalOptions& options) {
+  if (states.size() != diagnoses.size())
+    throw std::invalid_argument("predict_hazards: states/diagnoses mismatch");
+
+  std::vector<HazardPrediction> predictions;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const Diagnosis& diagnosis = diagnoses[i];
+    if (options.exceptions_only && !diagnosis.is_exception) continue;
+    if (diagnosis.ranked.empty()) continue;
+    const double top = diagnosis.ranked.front().strength;
+    for (const RankedCause& cause : diagnosis.ranked) {
+      if (cause.strength < options.strength_fraction * top) break;
+      if (cause.row >= interpretations.size())
+        throw std::invalid_argument(
+            "predict_hazards: interpretation missing for a psi row");
+      const RootCauseInterpretation& interp = interpretations[cause.row];
+      if (!interp.has_label()) continue;
+      predictions.push_back({states[i].time, states[i].node,
+                             interp.top_hazard(), cause.strength});
+    }
+  }
+  return predictions;
+}
+
+namespace {
+
+/// Window of a fault, padded with slack. Instantaneous faults (failure,
+/// reboot) manifest over the following epochs, so they get extra tail room.
+std::pair<wsn::Time, wsn::Time> fault_window(const wsn::InjectedFault& fault,
+                                             wsn::Time slack) {
+  const wsn::Time start = fault.command.start - slack;
+  wsn::Time end = fault.command.end > fault.command.start
+                      ? fault.command.end + slack
+                      : fault.command.start + 2.0 * slack;
+  return {start, end};
+}
+
+}  // namespace
+
+EvalReport evaluate(const std::vector<HazardPrediction>& predictions,
+                    const std::vector<wsn::InjectedFault>& ground_truth,
+                    const EvalOptions& options) {
+  EvalReport report;
+
+  const auto hazards_match = [&](metrics::HazardEvent a,
+                                 metrics::HazardEvent b) {
+    if (a == b) return true;
+    return options.match_by_class &&
+           metrics::hazard_class(a) == metrics::hazard_class(b);
+  };
+
+  // Recall: every injected fault wants a matching prediction in-window.
+  for (const wsn::InjectedFault& fault : ground_truth) {
+    HazardScore& score = report.per_hazard[fault.hazard];
+    score.injected++;
+    const auto [start, end] = fault_window(fault, options.window_slack);
+    const bool detected =
+        std::any_of(predictions.begin(), predictions.end(),
+                    [&](const HazardPrediction& p) {
+                      return hazards_match(p.hazard, fault.hazard) &&
+                             p.time >= start && p.time <= end;
+                    });
+    if (detected) score.detected++;
+  }
+
+  // Precision: every prediction wants an injected fault of its hazard whose
+  // window contains it.
+  for (const HazardPrediction& p : predictions) {
+    HazardScore& score = report.per_hazard[p.hazard];
+    score.predicted++;
+    const bool matched = std::any_of(
+        ground_truth.begin(), ground_truth.end(),
+        [&](const wsn::InjectedFault& fault) {
+          if (!hazards_match(p.hazard, fault.hazard)) return false;
+          const auto [start, end] = fault_window(fault, options.window_slack);
+          return p.time >= start && p.time <= end;
+        });
+    if (matched) score.matched++;
+  }
+
+  std::size_t recall_classes = 0, precision_classes = 0;
+  for (const auto& [hazard, score] : report.per_hazard) {
+    if (score.injected > 0) {
+      report.macro_recall += score.recall();
+      ++recall_classes;
+    }
+    if (score.predicted > 0) {
+      report.macro_precision += score.precision();
+      ++precision_classes;
+    }
+  }
+  if (recall_classes) report.macro_recall /= static_cast<double>(recall_classes);
+  if (precision_classes)
+    report.macro_precision /= static_cast<double>(precision_classes);
+  return report;
+}
+
+}  // namespace vn2::core

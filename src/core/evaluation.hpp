@@ -1,0 +1,73 @@
+// Scoring diagnoses against injected ground truth.
+//
+// The simulator records every injected fault (hazard class, time window,
+// blast radius). A diagnosis pipeline turns trace states into per-state
+// hazard predictions (via Ψ-row interpretation). This module matches the
+// two at network level: within each fault's (slack-padded) window, did the
+// pipeline report the fault's hazard class? And how much of what it reported
+// corresponds to anything that was actually injected?
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/inference.hpp"
+#include "core/interpretation.hpp"
+#include "trace/trace.hpp"
+#include "wsn/faults.hpp"
+
+namespace vn2::core {
+
+struct EvalOptions {
+  /// Predictions within ±slack of a fault window still count for it.
+  wsn::Time window_slack = 1200.0;
+  /// Per-state: hazards of Ψ rows whose strength ≥ fraction · top strength.
+  double strength_fraction = 0.3;
+  /// A state only votes if the ε rule flags it.
+  bool exceptions_only = true;
+  /// Match predictions to faults at HazardClass granularity (a jammer and a
+  /// noise rise are the same manifestation). False = exact hazard identity.
+  bool match_by_class = true;
+};
+
+/// A hazard predicted at a moment in time (by some state's diagnosis).
+struct HazardPrediction {
+  wsn::Time time = 0.0;
+  wsn::NodeId node = wsn::kInvalidNode;
+  metrics::HazardEvent hazard{};
+  double strength = 0.0;
+};
+
+/// Turns diagnoses into hazard predictions using the Ψ interpretations.
+std::vector<HazardPrediction> predict_hazards(
+    const std::vector<trace::StateVector>& states,
+    const std::vector<Diagnosis>& diagnoses,
+    const std::vector<RootCauseInterpretation>& interpretations,
+    const EvalOptions& options = {});
+
+struct HazardScore {
+  std::size_t injected = 0;   ///< Ground-truth faults of this hazard.
+  std::size_t detected = 0;   ///< ... whose window contained a matching prediction.
+  std::size_t predicted = 0;  ///< Predictions of this hazard overall.
+  std::size_t matched = 0;    ///< ... that fell inside a matching fault window.
+
+  [[nodiscard]] double recall() const noexcept {
+    return injected ? static_cast<double>(detected) / injected : 1.0;
+  }
+  [[nodiscard]] double precision() const noexcept {
+    return predicted ? static_cast<double>(matched) / predicted : 1.0;
+  }
+};
+
+struct EvalReport {
+  std::map<metrics::HazardEvent, HazardScore> per_hazard;
+  double macro_recall = 0.0;     ///< Mean recall over injected hazard classes.
+  double macro_precision = 0.0;  ///< Mean precision over predicted classes.
+};
+
+/// Matches predictions against ground truth.
+EvalReport evaluate(const std::vector<HazardPrediction>& predictions,
+                    const std::vector<wsn::InjectedFault>& ground_truth,
+                    const EvalOptions& options = {});
+
+}  // namespace vn2::core

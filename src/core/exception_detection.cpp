@@ -1,0 +1,73 @@
+#include "core/exception_detection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vn2::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+bool ExceptionDetectionResult::is_exception(std::size_t row) const {
+  return std::binary_search(exception_rows.begin(), exception_rows.end(), row);
+}
+
+ExceptionDetectionResult detect_exceptions(
+    const Matrix& states, const ExceptionDetectionOptions& options) {
+  if (states.rows() == 0 || states.cols() == 0)
+    throw std::invalid_argument("detect_exceptions: empty state matrix");
+  const std::size_t n = states.rows();
+  const std::size_t m = states.cols();
+
+  // Column means and (population) standard deviations.
+  Vector mean(m), stddev(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += states(i, j);
+    mean[j] = acc / static_cast<double>(n);
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = states(i, j) - mean[j];
+      acc += d * d;
+    }
+    stddev[j] = std::sqrt(acc / static_cast<double>(n));
+  }
+
+  ExceptionDetectionResult result;
+  result.scores = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      double d = states(i, j) - mean[j];
+      if (options.standardize) {
+        if (stddev[j] > 0.0)
+          d /= stddev[j];
+        else
+          d = 0.0;  // Constant column: never deviates.
+      }
+      acc += d * d;
+    }
+    result.scores[i] = std::sqrt(acc);
+    result.max_score = std::max(result.max_score, result.scores[i]);
+  }
+
+  if (result.max_score > 0.0) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (result.scores[i] / result.max_score >= options.threshold)
+        result.exception_rows.push_back(i);
+  }
+  return result;
+}
+
+Matrix exception_matrix(const Matrix& states,
+                        const ExceptionDetectionResult& detection) {
+  Matrix out;
+  for (std::size_t row : detection.exception_rows)
+    out.append_row(states.row(row));
+  return out;
+}
+
+}  // namespace vn2::core

@@ -1,0 +1,45 @@
+// Exception extraction from history logs (paper §IV-B).
+//
+// Normal operation dominates the logs; feeding everything to NMF would let
+// normal states conceal the representation of exceptions. The paper's rule:
+// compute each metric's mean, measure each state's deviation ε_u from the
+// mean, and flag state u as an exception when ε_u / max(ε) ≥ 0.01.
+//
+// Raw metrics live on wildly different scales (lux in the hundreds, ETX near
+// one), so deviations are standardized per metric (divided by the column's
+// standard deviation) before the ε_u norm is taken — otherwise one
+// large-valued metric would own the threshold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace vn2::core {
+
+struct ExceptionDetectionOptions {
+  /// Flag state u when ε_u / max(ε) ≥ threshold (paper: 0.01).
+  double threshold = 0.01;
+  /// Standardize deviations by each column's std before the norm.
+  bool standardize = true;
+};
+
+struct ExceptionDetectionResult {
+  std::vector<std::size_t> exception_rows;  ///< Indices into the input.
+  linalg::Vector scores;                    ///< ε_u per state (size n).
+  double max_score = 0.0;
+
+  [[nodiscard]] bool is_exception(std::size_t row) const;
+};
+
+/// Scores every state (row) of `states` and flags exceptions.
+/// Throws std::invalid_argument on an empty matrix.
+ExceptionDetectionResult detect_exceptions(
+    const linalg::Matrix& states, const ExceptionDetectionOptions& options = {});
+
+/// Convenience: the submatrix of flagged rows (order preserved).
+linalg::Matrix exception_matrix(const linalg::Matrix& states,
+                                const ExceptionDetectionResult& detection);
+
+}  // namespace vn2::core

@@ -1,0 +1,266 @@
+#include "core/incident.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace vn2::core {
+
+namespace {
+
+struct Member {
+  const trace::StateVector* state;
+  const Diagnosis* diagnosis;
+};
+
+Incident build_incident(
+    const std::vector<Member>& members,
+    const std::vector<RootCauseInterpretation>& interpretations,
+    const IncidentOptions& options,
+    const std::vector<wsn::Position>& positions) {
+  Incident incident;
+  incident.start = members.front().state->time;
+  incident.end = members.back().state->time;
+  incident.state_count = members.size();
+
+  // Affected nodes.
+  for (const Member& member : members)
+    incident.nodes.push_back(member.state->node);
+  std::sort(incident.nodes.begin(), incident.nodes.end());
+  incident.nodes.erase(
+      std::unique(incident.nodes.begin(), incident.nodes.end()),
+      incident.nodes.end());
+
+  // Mean strength profile.
+  const std::size_t rank = members.front().diagnosis->weights.size();
+  incident.strength_profile = linalg::Vector(rank);
+  for (const Member& member : members)
+    for (std::size_t r = 0; r < rank; ++r)
+      incident.strength_profile[r] += member.diagnosis->weights[r];
+  incident.strength_profile *= 1.0 / static_cast<double>(members.size());
+
+  // Evidence mass per hazard: each member's active rows vote with their
+  // strength, routed through the row's top hazard label.
+  std::map<metrics::HazardEvent, double> mass;
+  double total_mass = 0.0;
+  for (const Member& member : members) {
+    if (member.diagnosis->ranked.empty()) continue;
+    const double top = member.diagnosis->ranked.front().strength;
+    for (const RankedCause& cause : member.diagnosis->ranked) {
+      if (cause.strength < options.strength_fraction * top) break;
+      if (cause.row >= interpretations.size())
+        throw std::invalid_argument(
+            "aggregate_incidents: interpretation missing for a psi row");
+      const RootCauseInterpretation& interp = interpretations[cause.row];
+      if (!interp.has_label()) continue;
+      mass[interp.top_hazard()] += cause.strength;
+      total_mass += cause.strength;
+    }
+  }
+  if (total_mass > 0.0) {
+    for (const auto& [hazard, value] : mass) {
+      const double share = value / total_mass;
+      if (share >= options.min_cause_share)
+        incident.causes.push_back({hazard, share});
+    }
+    std::sort(incident.causes.begin(), incident.causes.end(),
+              [](const IncidentCause& a, const IncidentCause& b) {
+                return a.share > b.share;
+              });
+  }
+
+  // Spatial localization: evidence-weighted centroid of affected nodes
+  // (each member state votes with its exception score weight 1).
+  if (!positions.empty()) {
+    double cx = 0.0, cy = 0.0;
+    for (const Member& member : members) {
+      const wsn::Position& p = positions.at(member.state->node);
+      cx += p.x;
+      cy += p.y;
+    }
+    incident.center = {cx / static_cast<double>(members.size()),
+                       cy / static_cast<double>(members.size())};
+    double rms = 0.0;
+    for (const Member& member : members) {
+      const double d =
+          wsn::distance(positions.at(member.state->node), incident.center);
+      rms += d * d;
+    }
+    incident.radius_m = std::sqrt(rms / static_cast<double>(members.size()));
+    incident.localized = true;
+  }
+
+  std::ostringstream ss;
+  ss << "incident [" << incident.start << "s, " << incident.end << "s] "
+     << incident.nodes.size() << " nodes, " << incident.state_count
+     << " exception states;";
+  if (incident.localized)
+    ss << " near (" << static_cast<int>(incident.center.x) << ","
+       << static_cast<int>(incident.center.y) << ") r~"
+       << static_cast<int>(incident.radius_m) << "m;";
+  if (incident.causes.empty()) {
+    ss << " no labelled cause";
+  } else {
+    ss << " causes:";
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, incident.causes.size());
+         ++i) {
+      ss << ' ' << metrics::hazard_name(incident.causes[i].hazard) << '('
+         << static_cast<int>(100.0 * incident.causes[i].share) << "%)";
+    }
+  }
+  incident.summary = ss.str();
+  return incident;
+}
+
+}  // namespace
+
+std::vector<Incident> aggregate_incidents(
+    const std::vector<trace::StateVector>& states,
+    const std::vector<Diagnosis>& diagnoses,
+    const std::vector<RootCauseInterpretation>& interpretations,
+    const IncidentOptions& options,
+    const std::vector<wsn::Position>& positions) {
+  if (states.size() != diagnoses.size())
+    throw std::invalid_argument(
+        "aggregate_incidents: states/diagnoses size mismatch");
+
+  // Collect exception members, time-ordered.
+  std::vector<Member> members;
+  for (std::size_t i = 0; i < states.size(); ++i)
+    if (diagnoses[i].is_exception) members.push_back({&states[i], &diagnoses[i]});
+  std::sort(members.begin(), members.end(),
+            [](const Member& a, const Member& b) {
+              return a.state->time < b.state->time;
+            });
+
+  std::vector<Incident> incidents;
+
+  if (options.spatial_gap_m > 0.0 && !positions.empty()) {
+    // Spatio-temporal clustering: fixed merge_gap-long time windows →
+    // spatial components per window → stitch components across consecutive
+    // windows when their centroids stay within the spatial gap.
+    struct OpenIncident {
+      std::vector<Member> members;
+      wsn::Position centroid;
+      std::size_t last_window = 0;
+    };
+    std::vector<OpenIncident> open;
+
+    auto centroid_of = [&](const std::vector<Member>& group) {
+      wsn::Position c{0.0, 0.0};
+      for (const Member& member : group) {
+        const wsn::Position& p = positions.at(member.state->node);
+        c.x += p.x;
+        c.y += p.y;
+      }
+      c.x /= static_cast<double>(group.size());
+      c.y /= static_cast<double>(group.size());
+      return c;
+    };
+    auto close_incident = [&](OpenIncident& incident) {
+      // min_states applies to the whole stitched incident.
+      if (incident.members.size() >= options.min_states)
+        incidents.push_back(build_incident(incident.members, interpretations,
+                                           options, positions));
+    };
+
+    const wsn::Time window = std::max(options.merge_gap, 1.0);
+    std::size_t i = 0;
+    std::size_t window_index = 0;
+    while (i < members.size()) {
+      // Gather this window's members.
+      window_index =
+          static_cast<std::size_t>(members[i].state->time / window);
+      const wsn::Time window_end =
+          static_cast<double>(window_index + 1) * window;
+      std::vector<Member> bucket;
+      while (i < members.size() && members[i].state->time < window_end)
+        bucket.push_back(members[i++]);
+
+      // Spatial components within the window (union-find, single linkage).
+      std::vector<std::size_t> parent(bucket.size());
+      for (std::size_t k = 0; k < parent.size(); ++k) parent[k] = k;
+      std::function<std::size_t(std::size_t)> find =
+          [&](std::size_t x) -> std::size_t {
+        while (parent[x] != x) {
+          parent[x] = parent[parent[x]];
+          x = parent[x];
+        }
+        return x;
+      };
+      for (std::size_t a = 0; a < bucket.size(); ++a)
+        for (std::size_t b = a + 1; b < bucket.size(); ++b)
+          if (wsn::distance(positions.at(bucket[a].state->node),
+                            positions.at(bucket[b].state->node)) <=
+              options.spatial_gap_m)
+            parent[find(a)] = find(b);
+      std::map<std::size_t, std::vector<Member>> components;
+      for (std::size_t k = 0; k < bucket.size(); ++k)
+        components[find(k)].push_back(bucket[k]);
+
+      // Close incidents not continued in the previous window.
+      for (OpenIncident& candidate : open) {
+        if (candidate.last_window + 1 < window_index) {
+          close_incident(candidate);
+          candidate.members.clear();
+        }
+      }
+      std::erase_if(open, [](const OpenIncident& o) {
+        return o.members.empty();
+      });
+
+      // Attach each component to the nearest open incident, or open anew.
+      for (auto& [root, group] : components) {
+        const wsn::Position c = centroid_of(group);
+        OpenIncident* best = nullptr;
+        double best_distance = options.spatial_gap_m;
+        for (OpenIncident& candidate : open) {
+          const double d = wsn::distance(candidate.centroid, c);
+          if (d <= best_distance) {
+            best_distance = d;
+            best = &candidate;
+          }
+        }
+        if (best) {
+          best->members.insert(best->members.end(), group.begin(),
+                               group.end());
+          best->centroid = centroid_of(best->members);
+          best->last_window = window_index;
+        } else {
+          open.push_back({std::move(group), c, window_index});
+        }
+      }
+    }
+    for (OpenIncident& candidate : open) close_incident(candidate);
+    // build_incident assumes time-ordered members for start/end; stitched
+    // groups are window-ordered already, but sort defensively.
+    std::sort(incidents.begin(), incidents.end(),
+              [](const Incident& a, const Incident& b) {
+                return a.start < b.start;
+              });
+    return incidents;
+  }
+
+  // Plain temporal clustering with the merge gap.
+  std::vector<Member> cluster;
+  auto flush = [&] {
+    if (cluster.size() >= options.min_states)
+      incidents.push_back(
+          build_incident(cluster, interpretations, options, positions));
+    cluster.clear();
+  };
+  for (const Member& member : members) {
+    if (!cluster.empty() &&
+        member.state->time - cluster.back().state->time > options.merge_gap)
+      flush();
+    cluster.push_back(member);
+  }
+  flush();
+  return incidents;
+}
+
+}  // namespace vn2::core

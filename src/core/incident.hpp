@@ -1,0 +1,77 @@
+// Combination diagnosis (the paper's §VI future work): aggregating
+// per-state diagnoses into network *incidents*.
+//
+// A real fault episode produces a burst of exception states across several
+// nodes and epochs. Operators do not want 400 per-state alarms; they want
+// "one incident: days 6.2–6.4, 17 nodes, dominant causes routing-loop +
+// contention". This module clusters exception diagnoses in time, merges
+// their evidence, and emits ranked per-incident cause summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/inference.hpp"
+#include "core/interpretation.hpp"
+#include "trace/trace.hpp"
+
+namespace vn2::core {
+
+struct IncidentOptions {
+  /// Two exception states separated by more than this gap belong to
+  /// different incidents.
+  wsn::Time merge_gap = 1800.0;
+  /// Per state, Ψ rows with strength ≥ fraction · top strength contribute
+  /// evidence to the incident.
+  double strength_fraction = 0.3;
+  /// Clusters with fewer exception states than this are dropped as noise.
+  std::size_t min_states = 3;
+  /// Causes below this share of the incident's total evidence are omitted
+  /// from the ranked list.
+  double min_cause_share = 0.05;
+  /// When > 0 and node positions are provided, clustering is
+  /// spatio-temporal: exception states are binned into merge_gap-long time
+  /// windows, linked into spatial components within each window (single
+  /// linkage, hop length spatial_gap_m), and components in consecutive
+  /// windows whose centroids lie within spatial_gap_m are stitched into one
+  /// incident. Ambient network-wide noise falls into sub-min_states
+  /// fragments instead of welding spatially distinct events together.
+  double spatial_gap_m = 0.0;
+};
+
+struct IncidentCause {
+  metrics::HazardEvent hazard{};
+  double share = 0.0;  ///< Fraction of the incident's evidence mass.
+};
+
+struct Incident {
+  wsn::Time start = 0.0;
+  wsn::Time end = 0.0;
+  std::vector<wsn::NodeId> nodes;      ///< Affected nodes, sorted, unique.
+  std::size_t state_count = 0;         ///< Exception states merged in.
+  linalg::Vector strength_profile;     ///< Mean w over member states (size r).
+  std::vector<IncidentCause> causes;   ///< Ranked, best first.
+  std::string summary;                 ///< One-line operator text.
+
+  /// Spatial localization — filled only when node positions were provided.
+  bool localized = false;
+  wsn::Position center;   ///< Evidence-weighted centroid of affected nodes.
+  double radius_m = 0.0;  ///< RMS distance of affected nodes to the center.
+
+  [[nodiscard]] wsn::Time duration() const noexcept { return end - start; }
+};
+
+/// Clusters the exception states among `states` (using their diagnoses)
+/// into incidents. `states` and `diagnoses` must be index-aligned;
+/// interpretations must cover every Ψ row referenced by the diagnoses.
+/// When `positions` is non-empty it must be indexable by every NodeId that
+/// appears; incidents are then spatially localized (center + radius).
+/// Throws std::invalid_argument on size mismatch.
+std::vector<Incident> aggregate_incidents(
+    const std::vector<trace::StateVector>& states,
+    const std::vector<Diagnosis>& diagnoses,
+    const std::vector<RootCauseInterpretation>& interpretations,
+    const IncidentOptions& options = {},
+    const std::vector<wsn::Position>& positions = {});
+
+}  // namespace vn2::core

@@ -1,0 +1,90 @@
+#include "core/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vn2::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Diagnosis diagnose(const Vn2Model& model, const Vector& raw_state,
+                   const DiagnoseOptions& options) {
+  if (!model.trained())
+    throw std::invalid_argument("diagnose: model is not trained");
+  if (raw_state.size() != metrics::kMetricCount)
+    throw std::invalid_argument("diagnose: state must have 43 entries");
+
+  Diagnosis diagnosis;
+  diagnosis.exception_score = model.exception_score(raw_state);
+  diagnosis.is_exception = model.is_exception(raw_state);
+
+  // NNLS against A = Ψᵀ (86 × r), b = encoded state.
+  const Vector encoded = model.encoder().encode(raw_state);
+  const Matrix a = linalg::transpose(model.psi());
+  linalg::NnlsResult solution = linalg::nnls(a, encoded, options.nnls);
+  diagnosis.weights = std::move(solution.x);
+  diagnosis.residual = solution.residual_norm;
+
+  double top = 0.0;
+  for (std::size_t r = 0; r < diagnosis.weights.size(); ++r)
+    top = std::max(top, diagnosis.weights[r]);
+  const double floor = top * options.strength_floor_fraction;
+  for (std::size_t r = 0; r < diagnosis.weights.size(); ++r)
+    if (diagnosis.weights[r] > floor && diagnosis.weights[r] > 0.0)
+      diagnosis.ranked.push_back({r, diagnosis.weights[r]});
+  std::sort(diagnosis.ranked.begin(), diagnosis.ranked.end(),
+            [](const RankedCause& a_, const RankedCause& b_) {
+              return a_.strength > b_.strength;
+            });
+  return diagnosis;
+}
+
+Matrix correlation_strengths(const Vn2Model& model, const Matrix& raw_states,
+                             const DiagnoseOptions& options) {
+  if (!model.trained())
+    throw std::invalid_argument("correlation_strengths: model not trained");
+  if (raw_states.cols() != metrics::kMetricCount)
+    throw std::invalid_argument("correlation_strengths: need 43 columns");
+
+  const Matrix a = linalg::transpose(model.psi());
+  Matrix w(raw_states.rows(), model.rank());
+  for (std::size_t i = 0; i < raw_states.rows(); ++i) {
+    const Vector encoded =
+        model.encoder().encode(raw_states.row_vector(i));
+    const linalg::NnlsResult solution = linalg::nnls(a, encoded, options.nnls);
+    for (std::size_t r = 0; r < model.rank(); ++r) w(i, r) = solution.x[r];
+  }
+  return w;
+}
+
+Vector mean_strength_profile(const Matrix& w) {
+  Vector profile(w.cols());
+  if (w.rows() == 0) return profile;
+  for (std::size_t j = 0; j < w.cols(); ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < w.rows(); ++i) acc += w(i, j);
+    profile[j] = acc / static_cast<double>(w.rows());
+  }
+  return profile;
+}
+
+double profile_correlation(const Vector& a, const Vector& b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("profile_correlation: size mismatch");
+  const double ma = linalg::mean(a);
+  const double mb = linalg::mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  const double denom = std::sqrt(va * vb);
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+}  // namespace vn2::core

@@ -1,0 +1,118 @@
+#include "core/interpretation.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace vn2::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+using metrics::HazardEvent;
+using metrics::MetricFamily;
+using metrics::MetricId;
+
+metrics::HazardEvent RootCauseInterpretation::top_hazard() const {
+  if (labels.empty())
+    throw std::logic_error("top_hazard: interpretation has no labels");
+  return labels.front().hazard;
+}
+
+RootCauseInterpretation interpret_row(const Vector& psi_row,
+                                      std::size_t row_index,
+                                      const InterpretOptions& options) {
+  if (psi_row.size() != kEncodedCount)
+    throw std::invalid_argument("interpret_row: expected 86-dim psi row");
+
+  RootCauseInterpretation out;
+  out.row = row_index;
+
+  const Vector profile = StateEncoder::decode_signed(psi_row);
+  double max_mag = 0.0;
+  for (std::size_t m = 0; m < metrics::kMetricCount; ++m)
+    max_mag = std::max(max_mag, std::abs(profile[m]));
+  if (max_mag <= 0.0) {
+    out.summary = "no metric variation (inactive root-cause vector)";
+    return out;
+  }
+
+  // Dominant metrics.
+  std::vector<std::pair<MetricId, double>> ranked;
+  for (std::size_t m = 0; m < metrics::kMetricCount; ++m) {
+    if (std::abs(profile[m]) >= options.dominance_fraction * max_mag)
+      ranked.emplace_back(metrics::metric_at(m), profile[m]);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return std::abs(a.second) > std::abs(b.second);
+  });
+  if (ranked.size() > options.max_dominant) ranked.resize(options.max_dominant);
+  out.dominant_metrics = ranked;
+
+  // Dominant family: total |variation| mass per family.
+  std::array<double, 8> family_mass{};
+  for (std::size_t m = 0; m < metrics::kMetricCount; ++m) {
+    const auto family =
+        static_cast<std::size_t>(metrics::family(metrics::metric_at(m)));
+    family_mass[family] += std::abs(profile[m]);
+  }
+  std::size_t best_family = 0;
+  for (std::size_t f = 1; f < family_mass.size(); ++f)
+    if (family_mass[f] > family_mass[best_family]) best_family = f;
+  out.dominant_family = static_cast<MetricFamily>(best_family);
+
+  // Hazard matching: a hazard scores by how much of the row's variation mass
+  // its signature metrics capture, weighted by how much of the signature is
+  // actually active (so one shared metric does not light up every hazard).
+  double total_mass = 0.0;
+  for (std::size_t m = 0; m < metrics::kMetricCount; ++m)
+    total_mass += std::abs(profile[m]);
+
+  for (const metrics::HazardInfo& hazard : metrics::hazard_table()) {
+    double signature_mass = 0.0;
+    std::size_t active_signature = 0;
+    for (MetricId id : hazard.signature_metrics) {
+      const double v = std::abs(profile[metrics::index_of(id)]);
+      signature_mass += v;
+      if (v >= options.dominance_fraction * max_mag) ++active_signature;
+    }
+    if (hazard.signature_metrics.empty() || total_mass <= 0.0) continue;
+    // A label needs at least one of its signature metrics to be dominant —
+    // diffuse sub-threshold mass across a wide signature is not evidence.
+    if (active_signature == 0) continue;
+    const double capture = signature_mass / total_mass;
+    const double coverage = static_cast<double>(active_signature) /
+                            static_cast<double>(hazard.signature_metrics.size());
+    const double score = std::sqrt(capture * coverage);
+    if (score >= options.min_label_score)
+      out.labels.push_back({hazard.event, score});
+  }
+  std::sort(out.labels.begin(), out.labels.end(),
+            [](const HazardLabel& a, const HazardLabel& b) {
+              return a.score > b.score;
+            });
+
+  std::ostringstream ss;
+  ss << "family=" << metrics::family_name(out.dominant_family)
+     << "; top metrics:";
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, ranked.size()); ++i) {
+    ss << ' ' << metrics::short_name(ranked[i].first)
+       << (ranked[i].second >= 0 ? "(+)" : "(-)");
+  }
+  if (!out.labels.empty())
+    ss << "; likely: " << metrics::hazard_name(out.labels.front().hazard);
+  out.summary = ss.str();
+  return out;
+}
+
+std::vector<RootCauseInterpretation> interpret(const Matrix& psi,
+                                               const InterpretOptions& options) {
+  std::vector<RootCauseInterpretation> out;
+  out.reserve(psi.rows());
+  for (std::size_t r = 0; r < psi.rows(); ++r)
+    out.push_back(interpret_row(psi.row_vector(r), r, options));
+  return out;
+}
+
+}  // namespace vn2::core

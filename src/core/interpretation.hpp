@@ -1,0 +1,57 @@
+// Root-cause vector interpretation (paper §IV-C, Problem 2).
+//
+// Each row of the representative matrix Ψ is a pattern of metric variation.
+// The paper labels rows by expert reading: "the two counters with great
+// variations are NOACK_retransmit_counter and MacI_backoff_counter → severe
+// contention". This module encodes that reading: a row is folded back to a
+// signed 43-metric profile (σ units), its dominant metrics are matched
+// against the Table I hazard signatures, and ranked hazard labels plus a
+// human-readable summary come out.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "linalg/matrix.hpp"
+#include "metrics/hazards.hpp"
+
+namespace vn2::core {
+
+struct InterpretOptions {
+  /// A metric is "dominant" when |profile value| ≥ fraction · max |value|.
+  double dominance_fraction = 0.45;
+  /// Cap on reported dominant metrics.
+  std::size_t max_dominant = 8;
+  /// Hazards scoring below this share are not reported.
+  double min_label_score = 0.15;
+};
+
+struct HazardLabel {
+  metrics::HazardEvent hazard;
+  double score = 0.0;  ///< In [0, 1]; higher = better signature match.
+};
+
+struct RootCauseInterpretation {
+  std::size_t row = 0;  ///< Index into Ψ.
+  /// Dominant metrics with their signed profile value (σ units).
+  std::vector<std::pair<metrics::MetricId, double>> dominant_metrics;
+  metrics::MetricFamily dominant_family = metrics::MetricFamily::kEnvironment;
+  std::vector<HazardLabel> labels;  ///< Ranked, best first. May be empty.
+  std::string summary;              ///< One-line human explanation.
+
+  [[nodiscard]] bool has_label() const noexcept { return !labels.empty(); }
+  /// Best hazard label; throws std::logic_error if there is none.
+  [[nodiscard]] metrics::HazardEvent top_hazard() const;
+};
+
+/// Interprets one Ψ row (86-dim encoded space).
+RootCauseInterpretation interpret_row(const linalg::Vector& psi_row,
+                                      std::size_t row_index,
+                                      const InterpretOptions& options = {});
+
+/// Interprets every row of Ψ (r × 86).
+std::vector<RootCauseInterpretation> interpret(
+    const linalg::Matrix& psi, const InterpretOptions& options = {});
+
+}  // namespace vn2::core

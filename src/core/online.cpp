@@ -1,0 +1,48 @@
+#include "core/online.hpp"
+
+#include <stdexcept>
+
+namespace vn2::core {
+
+OnlineTrainer::OnlineTrainer(OnlineTrainerOptions options)
+    : options_(std::move(options)) {
+  if (options_.window_capacity == 0)
+    throw std::invalid_argument("OnlineTrainer: window_capacity must be > 0");
+  if (options_.min_states == 0) options_.min_states = 1;
+}
+
+const Vn2Tool& OnlineTrainer::tool() const {
+  if (!tool_)
+    throw std::logic_error("OnlineTrainer::tool: no model trained yet");
+  return *tool_;
+}
+
+bool OnlineTrainer::retrain() {
+  if (window_.size() < options_.min_states) return false;
+  std::vector<trace::StateVector> states(window_.begin(), window_.end());
+  tool_ = Vn2Tool::train_from_states(states, options_.tool);
+  since_last_train_ = 0;
+  ++retrains_;
+  return true;
+}
+
+bool OnlineTrainer::push(const trace::StateVector& state) {
+  window_.push_back(state);
+  if (window_.size() > options_.window_capacity) window_.pop_front();
+  ++since_last_train_;
+
+  const bool due =
+      (!tool_ && window_.size() >= options_.min_states) ||
+      (tool_ && since_last_train_ >= options_.retrain_every);
+  if (due) return retrain();
+  return false;
+}
+
+std::size_t OnlineTrainer::push(const std::vector<trace::StateVector>& states) {
+  std::size_t retrains = 0;
+  for (const trace::StateVector& state : states)
+    if (push(state)) ++retrains;
+  return retrains;
+}
+
+}  // namespace vn2::core

@@ -1,0 +1,62 @@
+// Online (sliding-window) retraining.
+//
+// A deployed VN2 model ages: the network's "normal" drifts with seasons,
+// battery curves, and topology changes, so the encoder statistics and Ψ
+// must follow. OnlineTrainer keeps a bounded window of recent states,
+// retrains on a configurable cadence, and hands out the freshest model —
+// the component a long-running sink-side monitor wraps around Vn2Tool.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "core/vn2.hpp"
+#include "trace/trace.hpp"
+
+namespace vn2::core {
+
+struct OnlineTrainerOptions {
+  /// Maximum states kept in the training window (oldest evicted first).
+  std::size_t window_capacity = 5000;
+  /// Retrain after this many new states since the last (re)train.
+  std::size_t retrain_every = 1000;
+  /// Minimum states required before the first training.
+  std::size_t min_states = 200;
+  Vn2Tool::Options tool;
+};
+
+class OnlineTrainer {
+ public:
+  explicit OnlineTrainer(OnlineTrainerOptions options = {});
+
+  /// Feeds one state. Returns true if this call triggered a (re)train.
+  bool push(const trace::StateVector& state);
+
+  /// Feeds a batch; returns the number of retrains triggered.
+  std::size_t push(const std::vector<trace::StateVector>& states);
+
+  /// True once a model exists.
+  [[nodiscard]] bool ready() const noexcept { return tool_.has_value(); }
+  /// Current tool; throws std::logic_error before the first training.
+  [[nodiscard]] const Vn2Tool& tool() const;
+
+  [[nodiscard]] std::size_t window_size() const noexcept {
+    return window_.size();
+  }
+  [[nodiscard]] std::size_t retrain_count() const noexcept {
+    return retrains_;
+  }
+
+  /// Forces a retrain now (if min_states is met). Returns true on success.
+  bool retrain();
+
+ private:
+  OnlineTrainerOptions options_;
+  std::deque<trace::StateVector> window_;
+  std::optional<Vn2Tool> tool_;
+  std::size_t since_last_train_ = 0;
+  std::size_t retrains_ = 0;
+};
+
+}  // namespace vn2::core

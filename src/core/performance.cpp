@@ -1,0 +1,117 @@
+#include "core/performance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/inference.hpp"
+#include "linalg/solve.hpp"
+
+namespace vn2::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+PrrEstimator PrrEstimator::fit(const Matrix& profiles, const Vector& prr,
+                               double ridge) {
+  if (profiles.rows() != prr.size())
+    throw std::invalid_argument("PrrEstimator::fit: row/target mismatch");
+  if (profiles.rows() < 2)
+    throw std::invalid_argument("PrrEstimator::fit: need at least 2 windows");
+  if (ridge < 0.0)
+    throw std::invalid_argument("PrrEstimator::fit: ridge must be >= 0");
+
+  const std::size_t k = profiles.rows();
+  const std::size_t r = profiles.cols();
+
+  // Center features and target; regularize only the slopes.
+  Vector x_mean(r);
+  for (std::size_t j = 0; j < r; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += profiles(i, j);
+    x_mean[j] = acc / static_cast<double>(k);
+  }
+  const double y_mean = linalg::mean(prr);
+
+  Matrix gram(r, r, 0.0);
+  Vector rhs(r);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t a = 0; a < r; ++a) {
+      const double xa = profiles(i, a) - x_mean[a];
+      rhs[a] += xa * (prr[i] - y_mean);
+      for (std::size_t b = a; b < r; ++b)
+        gram(a, b) += xa * (profiles(i, b) - x_mean[b]);
+    }
+  }
+  for (std::size_t a = 0; a < r; ++a)
+    for (std::size_t b = 0; b < a; ++b) gram(a, b) = gram(b, a);
+  double diag_max = 0.0;
+  for (std::size_t a = 0; a < r; ++a) diag_max = std::max(diag_max, gram(a, a));
+  const double lambda = ridge * std::max(diag_max, 1.0);
+  for (std::size_t a = 0; a < r; ++a) gram(a, a) += lambda + 1e-12;
+
+  PrrEstimator estimator;
+  estimator.beta_ = linalg::cholesky_solve(gram, rhs);
+  estimator.intercept_ = y_mean - linalg::dot(estimator.beta_, x_mean);
+  return estimator;
+}
+
+double PrrEstimator::predict(const Vector& profile) const {
+  if (!fitted())
+    throw std::logic_error("PrrEstimator::predict: model not fitted");
+  if (profile.size() != beta_.size())
+    throw std::invalid_argument("PrrEstimator::predict: size mismatch");
+  return std::clamp(intercept_ + linalg::dot(beta_, profile), 0.0, 1.0);
+}
+
+double PrrEstimator::r_squared(const Matrix& profiles,
+                               const Vector& prr) const {
+  if (profiles.rows() != prr.size() || profiles.rows() == 0)
+    throw std::invalid_argument("r_squared: shape mismatch");
+  const double mean = linalg::mean(prr);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < profiles.rows(); ++i) {
+    const double prediction = predict(profiles.row_vector(i));
+    ss_res += (prr[i] - prediction) * (prr[i] - prediction);
+    ss_tot += (prr[i] - mean) * (prr[i] - mean);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+PerformanceDataset build_performance_dataset(
+    const wsn::SimulationResult& result,
+    const std::vector<trace::StateVector>& states, const Vn2Model& model,
+    wsn::Time window) {
+  if (!model.trained())
+    throw std::invalid_argument("build_performance_dataset: untrained model");
+  if (window <= 0.0)
+    throw std::invalid_argument("build_performance_dataset: bad window");
+
+  const auto series = trace::prr_series(result, window);
+  const Matrix w = correlation_strengths(model, trace::states_matrix(states));
+
+  PerformanceDataset dataset;
+  std::vector<double> targets;
+  for (const trace::PrrPoint& point : series) {
+    if (point.originated == 0) continue;
+    Vector profile(model.rank());
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].time < point.window_start ||
+          states[i].time >= point.window_end)
+        continue;
+      for (std::size_t r = 0; r < model.rank(); ++r) profile[r] += w(i, r);
+      ++count;
+    }
+    if (count == 0) continue;
+    profile *= 1.0 / static_cast<double>(count);
+    dataset.profiles.append_row(profile.span());
+    targets.push_back(point.prr());
+    dataset.window_starts.push_back(point.window_start);
+  }
+  dataset.prr = Vector(std::move(targets));
+  return dataset;
+}
+
+}  // namespace vn2::core

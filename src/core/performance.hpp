@@ -1,0 +1,65 @@
+// Protocol performance estimation (the paper's §VI future work).
+//
+// The correlation-strength profile of a time window summarizes *what is
+// wrong* with the network; this module learns how much each root cause
+// *costs* in delivery performance: a ridge-regularized linear model from
+// the window's mean strength profile to its packet reception ratio. Beyond
+// prediction, the fitted coefficients rank root causes by PRR impact —
+// "which of the things VN2 sees actually hurt us".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/model.hpp"
+#include "linalg/matrix.hpp"
+#include "trace/trace.hpp"
+
+namespace vn2::core {
+
+class PrrEstimator {
+ public:
+  PrrEstimator() = default;
+
+  /// Fits PRR ≈ intercept + profiles·β by centered ridge regression.
+  /// `profiles` is k × r (one window per row), `prr` has k entries.
+  /// Throws std::invalid_argument on shape mismatch or k < 2.
+  static PrrEstimator fit(const linalg::Matrix& profiles,
+                          const linalg::Vector& prr, double ridge = 1e-3);
+
+  /// Predicted PRR for one strength profile, clamped to [0, 1].
+  [[nodiscard]] double predict(const linalg::Vector& profile) const;
+
+  [[nodiscard]] const linalg::Vector& coefficients() const noexcept {
+    return beta_;
+  }
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+  [[nodiscard]] bool fitted() const noexcept { return !beta_.empty(); }
+
+  /// Coefficient of determination on a dataset (1 = perfect, ≤ 0 = no
+  /// better than predicting the mean).
+  [[nodiscard]] double r_squared(const linalg::Matrix& profiles,
+                                 const linalg::Vector& prr) const;
+
+ private:
+  linalg::Vector beta_;
+  double intercept_ = 0.0;
+};
+
+/// One row per time window: the mean correlation-strength profile of the
+/// window's states and the window's PRR.
+struct PerformanceDataset {
+  linalg::Matrix profiles;  ///< k × r.
+  linalg::Vector prr;       ///< k.
+  std::vector<wsn::Time> window_starts;
+};
+
+/// Builds the dataset from a simulation run: windows of length `window`,
+/// strength profiles via NNLS against the model's Ψ. Windows with no states
+/// or no originated packets are skipped.
+PerformanceDataset build_performance_dataset(
+    const wsn::SimulationResult& result,
+    const std::vector<trace::StateVector>& states, const Vn2Model& model,
+    wsn::Time window);
+
+}  // namespace vn2::core

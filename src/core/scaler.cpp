@@ -1,0 +1,102 @@
+#include "core/scaler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vn2::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+StateScaler StateScaler::fit(const Matrix& states) {
+  if (states.rows() == 0 || states.cols() != metrics::kMetricCount)
+    throw std::invalid_argument(
+        "StateScaler::fit: need a non-empty n x 43 matrix");
+  StateScaler scaler;
+  for (std::size_t m = 0; m < metrics::kMetricCount; ++m) {
+    double lo = states(0, m), hi = states(0, m);
+    for (std::size_t i = 1; i < states.rows(); ++i) {
+      lo = std::min(lo, states(i, m));
+      hi = std::max(hi, states(i, m));
+    }
+    scaler.min_[m] = lo;
+    scaler.max_[m] = hi;
+  }
+  return scaler;
+}
+
+double StateScaler::scale_one(std::size_t m, double v) const {
+  const double range = max_[m] - min_[m];
+  if (range <= 0.0) return 0.5;  // Constant column: no variation signal.
+  return std::clamp((v - min_[m]) / range, 0.0, 1.0);
+}
+
+double StateScaler::unscale_one(std::size_t m, double v) const {
+  const double range = max_[m] - min_[m];
+  if (range <= 0.0) return min_[m];
+  return min_[m] + v * range;
+}
+
+Vector StateScaler::transform(const Vector& raw) const {
+  if (raw.size() != metrics::kMetricCount)
+    throw std::invalid_argument("StateScaler::transform: wrong vector size");
+  Vector out(metrics::kMetricCount);
+  for (std::size_t m = 0; m < metrics::kMetricCount; ++m)
+    out[m] = scale_one(m, raw[m]);
+  return out;
+}
+
+Matrix StateScaler::transform(const Matrix& raw) const {
+  if (raw.cols() != metrics::kMetricCount)
+    throw std::invalid_argument("StateScaler::transform: wrong column count");
+  Matrix out(raw.rows(), raw.cols());
+  for (std::size_t i = 0; i < raw.rows(); ++i)
+    for (std::size_t m = 0; m < metrics::kMetricCount; ++m)
+      out(i, m) = scale_one(m, raw(i, m));
+  return out;
+}
+
+Vector StateScaler::inverse(const Vector& scaled) const {
+  if (scaled.size() != metrics::kMetricCount)
+    throw std::invalid_argument("StateScaler::inverse: wrong vector size");
+  Vector out(metrics::kMetricCount);
+  for (std::size_t m = 0; m < metrics::kMetricCount; ++m)
+    out[m] = unscale_one(m, scaled[m]);
+  return out;
+}
+
+Vector StateScaler::center_on_zero(const Vector& scaled) const {
+  if (scaled.size() != metrics::kMetricCount)
+    throw std::invalid_argument("StateScaler::center_on_zero: wrong size");
+  Vector out(metrics::kMetricCount);
+  for (std::size_t m = 0; m < metrics::kMetricCount; ++m) {
+    const double zero_point = scale_one(m, 0.0);
+    // Normalize so the output lives in [-1, 1] regardless of where the
+    // zero point sits inside [0, 1].
+    const double denom = std::max(zero_point, 1.0 - zero_point);
+    out[m] = denom > 0.0 ? (scaled[m] - zero_point) / denom : 0.0;
+  }
+  return out;
+}
+
+Matrix StateScaler::to_matrix() const {
+  Matrix m(2, metrics::kMetricCount);
+  for (std::size_t c = 0; c < metrics::kMetricCount; ++c) {
+    m(0, c) = min_[c];
+    m(1, c) = max_[c];
+  }
+  return m;
+}
+
+StateScaler StateScaler::from_matrix(const Matrix& m) {
+  if (m.rows() != 2 || m.cols() != metrics::kMetricCount)
+    throw std::invalid_argument("StateScaler::from_matrix: need 2 x 43");
+  StateScaler scaler;
+  for (std::size_t c = 0; c < metrics::kMetricCount; ++c) {
+    scaler.min_[c] = m(0, c);
+    scaler.max_[c] = m(1, c);
+  }
+  return scaler;
+}
+
+}  // namespace vn2::core

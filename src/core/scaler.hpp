@@ -1,0 +1,59 @@
+// Per-metric affine scaling of state vectors into [0, 1].
+//
+// NMF requires a non-negative input, but raw state vectors (successive
+// metric differences) are signed: counters only grow, yet sensor readings,
+// RSSI, and ETX move both ways, and a node reboot resets counters (sharply
+// negative diffs). The paper plots Ψ rows in [-1, 1] without spelling out
+// its normalization; we make the step explicit and invertible:
+//
+//   scaled = (raw − min) / (max − min)   per metric column,
+//
+// fit on the training states. A constant column maps to 0.5 so it carries no
+// variation signal. The inverse transform recovers physical units for
+// interpretation and display.
+#pragma once
+
+#include <array>
+
+#include "linalg/matrix.hpp"
+#include "metrics/schema.hpp"
+
+namespace vn2::core {
+
+class StateScaler {
+ public:
+  /// Fits column-wise [min, max] on training states (n × 43).
+  /// Throws std::invalid_argument on an empty matrix or wrong column count.
+  static StateScaler fit(const linalg::Matrix& states);
+
+  /// Maps a raw state into [0, 1]^43. Values outside the training range are
+  /// clamped (inference states may exceed what training saw).
+  [[nodiscard]] linalg::Vector transform(const linalg::Vector& raw) const;
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& raw) const;
+
+  /// Recovers raw units from a scaled vector (clamping is not undone).
+  [[nodiscard]] linalg::Vector inverse(const linalg::Vector& scaled) const;
+
+  /// Centers a scaled vector around the scaled value of "no change" (raw 0),
+  /// i.e. positive = the metric grew faster than baseline. This is the
+  /// [-1, 1]-style view the paper plots root-cause vectors in.
+  [[nodiscard]] linalg::Vector center_on_zero(const linalg::Vector& scaled) const;
+
+  [[nodiscard]] double column_min(std::size_t m) const { return min_.at(m); }
+  [[nodiscard]] double column_max(std::size_t m) const { return max_.at(m); }
+
+  /// Serialization for model persistence.
+  [[nodiscard]] linalg::Matrix to_matrix() const;     ///< 2 × 43 (min; max).
+  static StateScaler from_matrix(const linalg::Matrix& m);
+
+  bool operator==(const StateScaler&) const = default;
+
+ private:
+  std::array<double, metrics::kMetricCount> min_{};
+  std::array<double, metrics::kMetricCount> max_{};
+
+  [[nodiscard]] double scale_one(std::size_t m, double v) const;
+  [[nodiscard]] double unscale_one(std::size_t m, double v) const;
+};
+
+}  // namespace vn2::core

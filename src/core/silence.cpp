@@ -1,0 +1,42 @@
+#include "core/silence.hpp"
+
+#include <algorithm>
+
+namespace vn2::core {
+
+std::vector<SilentNode> detect_silent_nodes(const trace::Trace& trace,
+                                            wsn::Time now,
+                                            const SilenceOptions& options) {
+  std::vector<SilentNode> silent;
+  for (const trace::NodeSeries& series : trace.nodes) {
+    if (series.snapshots.size() < options.min_snapshots) continue;
+
+    // Median inter-snapshot interval — robust to a few long loss gaps.
+    std::vector<double> gaps;
+    gaps.reserve(series.snapshots.size() - 1);
+    for (std::size_t i = 1; i < series.snapshots.size(); ++i)
+      gaps.push_back(series.snapshots[i].time - series.snapshots[i - 1].time);
+    const auto mid = gaps.begin() + static_cast<long>(gaps.size() / 2);
+    std::nth_element(gaps.begin(), mid, gaps.end());
+    const double median_gap = *mid;
+    if (median_gap <= 0.0) continue;
+
+    const wsn::Time last_seen = series.snapshots.back().time;
+    const wsn::Time quiet = now - last_seen;
+    if (quiet > options.factor * median_gap) {
+      SilentNode entry;
+      entry.node = series.node;
+      entry.last_seen = last_seen;
+      entry.silent_for = quiet;
+      entry.expected_interval = median_gap;
+      silent.push_back(entry);
+    }
+  }
+  std::sort(silent.begin(), silent.end(),
+            [](const SilentNode& a, const SilentNode& b) {
+              return a.silent_for > b.silent_for;
+            });
+  return silent;
+}
+
+}  // namespace vn2::core

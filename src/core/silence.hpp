@@ -1,0 +1,40 @@
+// Silence detection — the complementary signal to state-based diagnosis.
+//
+// VN2 explains the states it *receives*; a node that dies outright simply
+// stops producing them (the paper locates such failures by combining Ψ
+// signatures on the neighbors with the PRR record). This module supplies the
+// direct flow-based check: given a trace and each node's observed reporting
+// cadence, flag nodes whose silence exceeds what packet loss alone can
+// plausibly explain — Sympathy's "insufficient data" insight, grafted onto
+// the VN2 pipeline as corroborating evidence for node-failure diagnoses.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace vn2::core {
+
+struct SilenceOptions {
+  /// A node is silent when (now − last snapshot) exceeds `factor` × its own
+  /// median inter-snapshot interval.
+  double factor = 4.0;
+  /// Nodes with fewer observed snapshots than this are not judged (their
+  /// cadence estimate would be meaningless).
+  std::size_t min_snapshots = 5;
+};
+
+struct SilentNode {
+  wsn::NodeId node = wsn::kInvalidNode;
+  wsn::Time last_seen = 0.0;
+  wsn::Time silent_for = 0.0;          ///< now − last_seen.
+  wsn::Time expected_interval = 0.0;   ///< Median inter-snapshot gap.
+};
+
+/// Scans a trace for nodes that have gone silent as of time `now`.
+/// Nodes are reported in descending silent_for order.
+std::vector<SilentNode> detect_silent_nodes(const trace::Trace& trace,
+                                            wsn::Time now,
+                                            const SilenceOptions& options = {});
+
+}  // namespace vn2::core

@@ -1,0 +1,60 @@
+#include "core/vn2.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vn2::core {
+
+Vn2Tool Vn2Tool::train_from_trace(const trace::Trace& trace,
+                                  const Options& options) {
+  return train_from_states(trace::extract_states(trace), options);
+}
+
+Vn2Tool Vn2Tool::train_from_states(
+    const std::vector<trace::StateVector>& states, const Options& options) {
+  return train_from_matrix(trace::states_matrix(states), options);
+}
+
+Vn2Tool Vn2Tool::train_from_matrix(const linalg::Matrix& states,
+                                   const Options& options) {
+  Vn2Tool tool;
+  tool.options_ = options;
+  tool.report_ = train(states, options.training);
+  tool.model_ = tool.report_.model;
+  tool.interpretations_ = interpret(tool.model_.psi(), options.interpret);
+  return tool;
+}
+
+Vn2Tool Vn2Tool::from_model(Vn2Model model, const Options& options) {
+  if (!model.trained())
+    throw std::invalid_argument("Vn2Tool::from_model: untrained model");
+  Vn2Tool tool;
+  tool.options_ = options;
+  tool.model_ = std::move(model);
+  tool.interpretations_ = interpret(tool.model_.psi(), options.interpret);
+  return tool;
+}
+
+Diagnosis Vn2Tool::diagnose_state(const linalg::Vector& raw) const {
+  return diagnose(model_, raw, options_.diagnose);
+}
+
+Vn2Tool::Explanation Vn2Tool::explain(const linalg::Vector& raw) const {
+  Explanation out;
+  out.diagnosis = diagnose_state(raw);
+
+  std::ostringstream text;
+  text << (out.diagnosis.is_exception ? "EXCEPTION" : "normal")
+       << " (score=" << out.diagnosis.exception_score
+       << ", residual=" << out.diagnosis.residual << ")";
+  for (const RankedCause& cause : out.diagnosis.ranked) {
+    const RootCauseInterpretation& interp = interpretations_.at(cause.row);
+    out.causes.emplace_back(&interp, cause.strength);
+    text << "\n  psi[" << cause.row << "] strength=" << cause.strength << ": "
+         << interp.summary;
+  }
+  out.text = text.str();
+  return out;
+}
+
+}  // namespace vn2::core

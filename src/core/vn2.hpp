@@ -1,0 +1,82 @@
+// VN2 — public façade.
+//
+// Typical use:
+//
+//   auto bundle = scenario::citysee_field();
+//   auto sim = bundle.make_simulator();
+//   auto trace = trace::build_trace(sim.run());
+//   auto tool = core::Vn2Tool::train_from_trace(trace);
+//   for (auto& state : trace::extract_states(fresh_trace)) {
+//     auto explanation = tool.explain(state.delta);
+//     if (explanation.diagnosis.is_exception) std::cout << explanation.text;
+//   }
+//
+// Lower-level pieces (exception detection, NMF, NNLS, interpretation) are
+// all public too — see the sibling headers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/exception_detection.hpp"
+#include "core/inference.hpp"
+#include "core/interpretation.hpp"
+#include "core/model.hpp"
+#include "trace/trace.hpp"
+
+namespace vn2::core {
+
+class Vn2Tool {
+ public:
+  struct Options {
+    TrainingOptions training;
+    DiagnoseOptions diagnose;
+    InterpretOptions interpret;
+  };
+
+  /// Trains on all states extracted from a trace.
+  /// Throws std::invalid_argument when the trace yields too few states.
+  static Vn2Tool train_from_trace(const trace::Trace& trace,
+                                  const Options& options = {});
+
+  /// Trains on pre-extracted states.
+  static Vn2Tool train_from_states(const std::vector<trace::StateVector>& states,
+                                   const Options& options = {});
+
+  /// Trains on a raw n × 43 state matrix.
+  static Vn2Tool train_from_matrix(const linalg::Matrix& states,
+                                   const Options& options = {});
+
+  /// Wraps an existing (e.g. loaded) model; interpretations are recomputed.
+  static Vn2Tool from_model(Vn2Model model, const Options& options = {});
+
+  [[nodiscard]] const Vn2Model& model() const noexcept { return model_; }
+  [[nodiscard]] const TrainingReport& report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] const std::vector<RootCauseInterpretation>& interpretations()
+      const noexcept {
+    return interpretations_;
+  }
+
+  /// Diagnoses one raw state (43 metric diffs).
+  [[nodiscard]] Diagnosis diagnose_state(const linalg::Vector& raw) const;
+
+  /// A diagnosis joined with interpretation into a readable report.
+  struct Explanation {
+    Diagnosis diagnosis;
+    /// Active causes with their interpretations, strongest first.
+    std::vector<std::pair<const RootCauseInterpretation*, double>> causes;
+    std::string text;
+  };
+  [[nodiscard]] Explanation explain(const linalg::Vector& raw) const;
+
+ private:
+  Options options_;
+  Vn2Model model_;
+  TrainingReport report_;
+  std::vector<RootCauseInterpretation> interpretations_;
+};
+
+}  // namespace vn2::core

@@ -1,0 +1,180 @@
+#include "linalg/nnls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/solve.hpp"
+
+namespace vn2::linalg {
+
+namespace {
+
+/// Solves the unconstrained least-squares problem restricted to the passive
+/// set via normal equations (AᵀA)z = Aᵀb with a small ridge for stability.
+Vector solve_passive(const Matrix& a, const Vector& b,
+                     const std::vector<std::size_t>& passive) {
+  const std::size_t k = passive.size();
+  Matrix gram(k, k);
+  Vector rhs(k);
+  const std::size_t m = a.rows();
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < m; ++r)
+        acc += a(r, passive[i]) * a(r, passive[j]);
+      gram(i, j) = acc;
+      gram(j, i) = acc;
+    }
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m; ++r) acc += a(r, passive[i]) * b[r];
+    rhs[i] = acc;
+  }
+  // Ridge scaled to the diagonal keeps Cholesky alive when columns are
+  // nearly collinear (common for NMF bases learnt from correlated metrics).
+  double diag_max = 0.0;
+  for (std::size_t i = 0; i < k; ++i) diag_max = std::max(diag_max, gram(i, i));
+  const double ridge = std::max(1e-12 * diag_max, 1e-300);
+  for (std::size_t i = 0; i < k; ++i) gram(i, i) += ridge;
+  return cholesky_solve(gram, rhs);
+}
+
+double residual_norm_of(const Matrix& a, const Vector& x, const Vector& b) {
+  Vector r = matvec(a, x);
+  r -= b;
+  return norm2(r);
+}
+
+}  // namespace
+
+NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
+  if (a.rows() != b.size())
+    throw std::invalid_argument("nnls: A rows must match b size");
+  const std::size_t n = a.cols();
+  const std::size_t max_iter =
+      options.max_iterations ? options.max_iterations : 3 * std::max<std::size_t>(n, 1);
+
+  Vector x(n, 0.0);
+  std::vector<bool> in_passive(n, false);
+  std::vector<std::size_t> passive;
+
+  std::size_t iter = 0;
+  for (; iter < max_iter; ++iter) {
+    // w = Aᵀ(b − A·x)
+    Vector res = b;
+    res -= matvec(a, x);
+    Vector w(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < a.rows(); ++r) acc += a(r, j) * res[r];
+      w[j] = acc;
+    }
+
+    // Select the most-violating active coordinate.
+    double best = options.tolerance;
+    std::size_t best_j = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_passive[j] && w[j] > best) {
+        best = w[j];
+        best_j = j;
+      }
+    }
+    if (best_j == n) {
+      // KKT satisfied: active gradients all ≤ tolerance.
+      const double residual = residual_norm_of(a, x, b);
+      return {std::move(x), residual, iter, true};
+    }
+
+    in_passive[best_j] = true;
+    passive.push_back(best_j);
+
+    // Inner loop: solve on the passive set; walk back any negative entries.
+    while (true) {
+      Vector z = solve_passive(a, b, passive);
+      bool all_positive = true;
+      for (std::size_t i = 0; i < passive.size(); ++i)
+        if (z[i] <= options.tolerance) all_positive = false;
+      if (all_positive) {
+        for (std::size_t i = 0; i < passive.size(); ++i) x[passive[i]] = z[i];
+        break;
+      }
+      // Step length to the first coordinate hitting zero.
+      double alpha = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < passive.size(); ++i) {
+        if (z[i] <= options.tolerance) {
+          const double xi = x[passive[i]];
+          const double denom = xi - z[i];
+          if (denom > 0.0) alpha = std::min(alpha, xi / denom);
+        }
+      }
+      if (!std::isfinite(alpha)) alpha = 0.0;
+      for (std::size_t i = 0; i < passive.size(); ++i) {
+        const std::size_t j = passive[i];
+        x[j] += alpha * (z[i] - x[j]);
+      }
+      // Remove coordinates that reached (numerical) zero.
+      std::vector<std::size_t> next;
+      next.reserve(passive.size());
+      for (std::size_t j : passive) {
+        if (x[j] > options.tolerance) {
+          next.push_back(j);
+        } else {
+          x[j] = 0.0;
+          in_passive[j] = false;
+        }
+      }
+      passive = std::move(next);
+      if (passive.empty()) break;
+    }
+  }
+  const double residual = residual_norm_of(a, x, b);
+  return {std::move(x), residual, iter, false};
+}
+
+NnlsResult nnls_projected_gradient(const Matrix& a, const Vector& b,
+                                   const ProjectedGradientOptions& options) {
+  if (a.rows() != b.size())
+    throw std::invalid_argument("nnls_projected_gradient: size mismatch");
+  const std::size_t n = a.cols();
+  Vector x(n, 0.0);
+
+  // Lipschitz constant estimate of ∇½‖Ax−b‖² via ‖AᵀA‖₁ upper bound.
+  Matrix at = transpose(a);
+  Matrix gram = matmul(at, a);
+  double lipschitz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double rowsum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) rowsum += std::abs(gram(i, j));
+    lipschitz = std::max(lipschitz, rowsum);
+  }
+  if (lipschitz <= 0.0) {
+    return {std::move(x), norm2(b), 0, true};
+  }
+  const double step = 1.0 / lipschitz;
+
+  Vector atb = matvec(at, b);
+  std::size_t iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // grad = AᵀA·x − Aᵀb
+    Vector grad = matvec(gram, x);
+    grad -= atb;
+    double max_move = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double next = std::max(0.0, x[j] - step * grad[j]);
+      max_move = std::max(max_move, std::abs(next - x[j]));
+      x[j] = next;
+    }
+    if (max_move < options.step_tolerance) {
+      ++iter;
+      break;
+    }
+  }
+  const bool converged = iter < options.max_iterations ||
+                         options.max_iterations == 0;
+  const double residual = residual_norm_of(a, x, b);
+  return {std::move(x), residual, iter, converged};
+}
+
+}  // namespace vn2::linalg

@@ -1,0 +1,43 @@
+// Non-negative least squares:  argmin_x ‖A·x − b‖²  s.t. x ≥ 0.
+//
+// This is the inference kernel of VN2 (paper, Problem 3): a fresh node state
+// s is explained as s ≈ wᵀ·Ψ with w ≥ 0, i.e. NNLS with A = Ψᵀ. Two solvers
+// are provided:
+//   * Lawson–Hanson active set — exact (to tolerance), the default.
+//   * Projected gradient — iterative, used by benchmarks as a comparison
+//     point and as a fallback for ill-conditioned systems.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace vn2::linalg {
+
+struct NnlsOptions {
+  /// KKT tolerance on the dual (gradient) entries.
+  double tolerance = 1e-10;
+  /// Safety cap on active-set iterations (3·n is the classical bound).
+  std::size_t max_iterations = 0;  // 0 → 3 * cols
+};
+
+struct NnlsResult {
+  Vector x;               ///< Non-negative solution.
+  double residual_norm;   ///< ‖A·x − b‖₂ at the solution.
+  std::size_t iterations; ///< Outer iterations used.
+  bool converged;         ///< False only if the iteration cap was hit.
+};
+
+/// Lawson–Hanson active-set NNLS. Throws on shape mismatch.
+NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options = {});
+
+struct ProjectedGradientOptions {
+  double step_tolerance = 1e-10;
+  std::size_t max_iterations = 5000;
+};
+
+/// Projected-gradient NNLS with Barzilai–Borwein-style step adaptation.
+NnlsResult nnls_projected_gradient(const Matrix& a, const Vector& b,
+                                   const ProjectedGradientOptions& options = {});
+
+}  // namespace vn2::linalg

@@ -1,0 +1,83 @@
+#include "linalg/pca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/random.hpp"
+
+namespace vn2::linalg {
+
+PcaResult pca(const Matrix& data, std::size_t k, const PcaOptions& options) {
+  const std::size_t n = data.rows();
+  const std::size_t m = data.cols();
+  if (k == 0 || k > std::min(n, m))
+    throw std::invalid_argument("pca: k must be in [1, min(rows, cols)]");
+
+  PcaResult result;
+  result.column_mean = Vector(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += data(i, j);
+    result.column_mean[j] = acc / static_cast<double>(n);
+  }
+
+  // Residual matrix, deflated after each extracted component.
+  Matrix x(n, m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      x(i, j) = data(i, j) - result.column_mean[j];
+
+  result.scores = Matrix(n, k);
+  result.components = Matrix(k, m);
+  result.explained = Vector(k);
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+
+  for (std::size_t c = 0; c < k; ++c) {
+    // NIPALS: alternate t = X·p / ‖·‖, p = Xᵀ·t / ‖·‖ until p stabilizes.
+    Vector p(m);
+    for (std::size_t j = 0; j < m; ++j) p[j] = dist(rng);
+    double pn = norm2(p);
+    if (pn == 0.0) p[0] = 1.0; else p *= 1.0 / pn;
+
+    Vector t(n);
+    for (std::size_t it = 0; it < options.max_power_iterations; ++it) {
+      t = matvec(x, p);
+      Vector p_next = vecmat(t, x);
+      const double nrm = norm2(p_next);
+      if (nrm == 0.0) break;  // Residual already fully explained.
+      p_next *= 1.0 / nrm;
+      Vector delta = p_next - p;
+      p = std::move(p_next);
+      if (norm2(delta) < options.tolerance) break;
+    }
+    t = matvec(x, p);
+
+    result.components.set_row(c, p);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.scores(i, c) = t[i];
+      var += t[i] * t[i];
+    }
+    result.explained[c] = n > 1 ? var / static_cast<double>(n - 1) : var;
+
+    // Deflate: X ← X − t·pᵀ.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ti = t[i];
+      if (ti == 0.0) continue;
+      for (std::size_t j = 0; j < m; ++j) x(i, j) -= ti * p[j];
+    }
+  }
+  return result;
+}
+
+Matrix pca_reconstruct(const PcaResult& model) {
+  Matrix rec = matmul(model.scores, model.components);
+  for (std::size_t i = 0; i < rec.rows(); ++i)
+    for (std::size_t j = 0; j < rec.cols(); ++j)
+      rec(i, j) += model.column_mean[j];
+  return rec;
+}
+
+}  // namespace vn2::linalg

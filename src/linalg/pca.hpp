@@ -1,0 +1,33 @@
+// Truncated principal component analysis via NIPALS (power iteration with
+// deflation). Used only by the decomposition baseline that VN2 is compared
+// against: PCA factors are dense and sign-indefinite, which is exactly the
+// interpretability contrast with NMF the paper's design motivates.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace vn2::linalg {
+
+struct PcaResult {
+  Matrix scores;      ///< n × k — projection of each (centered) row.
+  Matrix components;  ///< k × m — orthonormal principal directions (rows).
+  Vector column_mean; ///< m — the mean removed from each column.
+  Vector explained;   ///< k — variance captured by each component.
+};
+
+struct PcaOptions {
+  std::size_t max_power_iterations = 500;
+  double tolerance = 1e-9;
+  std::uint64_t seed = 0x9ca0b1ULL;  ///< Initial direction for power iteration.
+};
+
+/// Computes the top-k principal components of data (rows = observations).
+/// Throws std::invalid_argument if k == 0 or k > min(rows, cols).
+PcaResult pca(const Matrix& data, std::size_t k, const PcaOptions& options = {});
+
+/// Reconstructs the data from a PCA model: scores·components + mean.
+Matrix pca_reconstruct(const PcaResult& model);
+
+}  // namespace vn2::linalg

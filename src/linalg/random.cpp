@@ -1,0 +1,36 @@
+#include "linalg/random.hpp"
+
+namespace vn2::linalg {
+
+Matrix random_uniform_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed, double lo, double hi) {
+  std::mt19937_64 rng(seed);
+  Matrix m(rows, cols);
+  fill_uniform(m, rng, lo, hi);
+  return m;
+}
+
+Vector random_uniform_vector(std::size_t n, std::uint64_t seed, double lo,
+                             double hi) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = dist(rng);
+  return v;
+}
+
+Matrix random_gaussian_matrix(std::size_t rows, std::size_t cols,
+                              std::uint64_t seed, double mean, double stddev) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(mean, stddev);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = dist(rng);
+  return m;
+}
+
+void fill_uniform(Matrix& m, std::mt19937_64& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = dist(rng);
+}
+
+}  // namespace vn2::linalg

@@ -1,0 +1,31 @@
+// Seeded random matrix/vector generation.
+//
+// Every stochastic component in VN2 takes an explicit seed so that traces,
+// factorizations, and benchmarks are bit-reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "linalg/matrix.hpp"
+
+namespace vn2::linalg {
+
+/// Matrix with i.i.d. entries uniform in [lo, hi).
+Matrix random_uniform_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed, double lo = 0.0,
+                             double hi = 1.0);
+
+/// Vector with i.i.d. entries uniform in [lo, hi).
+Vector random_uniform_vector(std::size_t n, std::uint64_t seed,
+                             double lo = 0.0, double hi = 1.0);
+
+/// Matrix with i.i.d. Gaussian entries.
+Matrix random_gaussian_matrix(std::size_t rows, std::size_t cols,
+                              std::uint64_t seed, double mean = 0.0,
+                              double stddev = 1.0);
+
+/// Fill from an existing engine (used when a caller interleaves draws).
+void fill_uniform(Matrix& m, std::mt19937_64& rng, double lo, double hi);
+
+}  // namespace vn2::linalg

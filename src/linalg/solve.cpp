@@ -1,0 +1,51 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vn2::linalg {
+
+Matrix cholesky_factor(const Matrix& a, double min_pivot) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("cholesky_factor: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (acc < min_pivot)
+          throw std::runtime_error("cholesky_factor: matrix not SPD");
+        l(i, j) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Vector cholesky_solve(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size())
+    throw std::invalid_argument("cholesky_solve: size mismatch");
+  const Matrix l = cholesky_factor(a);
+  const std::size_t n = a.rows();
+  // Forward substitution: L·y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    y[i] = acc / l(i, i);
+  }
+  // Back substitution: Lᵀ·x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace vn2::linalg

@@ -1,0 +1,21 @@
+// Small dense linear solvers: Cholesky factorization/solve for SPD systems.
+//
+// NNLS's active-set inner step and the PCA deflation both solve systems of
+// rank at most the NMF compression factor (r ≲ 50), so an O(k³) dense
+// Cholesky is plenty.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace vn2::linalg {
+
+/// Solves A·x = b for symmetric positive-definite A via Cholesky.
+/// Throws std::invalid_argument if A is not square / sizes mismatch, and
+/// std::runtime_error if A is not (numerically) positive definite.
+Vector cholesky_solve(const Matrix& a, const Vector& b);
+
+/// In-place lower-triangular Cholesky factor of an SPD matrix. Returns L with
+/// A = L·Lᵀ. Throws std::runtime_error if a pivot falls below `min_pivot`.
+Matrix cholesky_factor(const Matrix& a, double min_pivot = 1e-12);
+
+}  // namespace vn2::linalg

@@ -1,0 +1,158 @@
+#include "metrics/hazards.hpp"
+
+#include <stdexcept>
+
+namespace vn2::metrics {
+
+namespace {
+
+using enum MetricId;
+
+std::vector<MetricId> rssi_block() {
+  std::vector<MetricId> ids;
+  for (std::size_t i = 0; i < kMaxNeighbors; ++i)
+    ids.push_back(neighbor_rssi(i));
+  return ids;
+}
+
+const std::vector<HazardInfo>& table() {
+  static const std::vector<HazardInfo> kTable = [] {
+    std::vector<HazardInfo> t;
+    t.push_back({HazardEvent::kUnstableClock,
+                 "unstable-clock",
+                 {kTemperature, kTransmitCounter},
+                 "Hardware clocks are unstable due to temperature variation.",
+                 "Packet pacing follows the hardware clock; an unstable clock "
+                 "sends too fast or too slow and can create contention."});
+    t.push_back({HazardEvent::kNodeLowVoltage,
+                 "low-voltage",
+                 {kVoltage},
+                 "A node stops working if its voltage is below 2.8 V.",
+                 "The node can no longer send or forward; if it is a key node "
+                 "a subnetwork breaks down."});
+    t.push_back({HazardEvent::kKeyNodeLargeSubtree,
+                 "key-node-large-subtree",
+                 {kNeighborNum, kForwardCounter},
+                 "Many nodes choose the same parent, forming a large subtree.",
+                 "A key-node breakdown causes a large packet loss."});
+    t.push_back({HazardEvent::kRisingNoise,
+                 "rising-noise",
+                 rssi_block(),
+                 "A node detects that its neighbors' noise is increasing.",
+                 "Noise degrades packet receive ratio and indicates bad link "
+                 "quality."});
+    t.push_back({HazardEvent::kQueueOverflow,
+                 "queue-overflow",
+                 {kOverflowDropCounter, kDuplicateCounter},
+                 "A node's receiving queue overflows.",
+                 "Overflow loses both incoming and self-generated packets."});
+    t.push_back({HazardEvent::kLinkDegradation,
+                 "link-degradation",
+                 {kNoackRetransmitCounter, kDropPacketCounter,
+                  kDuplicateCounter, kPathEtx},
+                 "No successful ACK returns; packets are retransmitted.",
+                 "The sender-receiver link is poor, or the receiver cannot "
+                 "keep up with incoming packets."});
+    t.push_back({HazardEvent::kFrequentParentChange,
+                 "frequent-parent-change",
+                 {kParentChangeCounter, kBeaconRecvCounter},
+                 "A node changes its parent frequently.",
+                 "Indicates strong link dynamics, often correlated with "
+                 "environmental conditions."});
+    t.push_back({HazardEvent::kRoutingLoop,
+                 "routing-loop",
+                 {kLoopCounter, kTransmitCounter, kSelfTransmitCounter,
+                  kDuplicateCounter, kOverflowDropCounter},
+                 "A loop appears in the network.",
+                 "Loops cause heavy packet loss and energy drain in an area."});
+    t.push_back({HazardEvent::kPersistentDrop,
+                 "persistent-drop",
+                 {kDropPacketCounter, kNoackRetransmitCounter},
+                 "A packet is dropped after 30 retransmissions.",
+                 "The link is very poor or the peer is disconnected."});
+    t.push_back({HazardEvent::kDuplicateStorm,
+                 "duplicate-storm",
+                 {kDuplicateCounter, kReceiveCounter},
+                 "Too many duplicate packets circulate.",
+                 "Wastes energy and buffer space; indicates poor link "
+                 "quality."});
+    t.push_back({HazardEvent::kNodeFailure,
+                 "node-failure",
+                 {kNoackRetransmitCounter, kParentChangeCounter,
+                  kNoParentCounter, kNeighborNum},
+                 "A node disappears from the network.",
+                 "Neighbors lose their parent/child; traffic reroutes or is "
+                 "lost."});
+    t.push_back({HazardEvent::kNodeReboot,
+                 "node-reboot",
+                 {kVoltage, kNeighborNum, kBeaconRecvCounter,
+                  kParentChangeCounter},
+                 "A node restarts and rejoins; counters reset and neighbors "
+                 "see it appear.",
+                 "Transient instability while the routing tree reabsorbs the "
+                 "node."});
+    t.push_back({HazardEvent::kContention,
+                 "contention",
+                 {kMacBackoffCounter, kNoackRetransmitCounter,
+                  kAckFailCounter},
+                 "Severe channel contention; nodes cannot send or receive "
+                 "successfully.",
+                 "Link-quality degradation, often caused by environment or "
+                 "co-existing signals."});
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+std::span<const HazardInfo> hazard_table() { return table(); }
+
+const HazardInfo& hazard_info(HazardEvent event) {
+  for (const HazardInfo& info : table())
+    if (info.event == event) return info;
+  throw std::out_of_range("hazard_info: unknown hazard event");
+}
+
+std::string_view hazard_name(HazardEvent event) {
+  return hazard_info(event).name;
+}
+
+HazardClass hazard_class(HazardEvent event) noexcept {
+  switch (event) {
+    case HazardEvent::kUnstableClock:
+      return HazardClass::kEnvironment;
+    case HazardEvent::kNodeLowVoltage:
+      return HazardClass::kEnergy;
+    case HazardEvent::kRisingNoise:
+    case HazardEvent::kLinkDegradation:
+    case HazardEvent::kContention:
+    case HazardEvent::kPersistentDrop:
+      return HazardClass::kLink;
+    case HazardEvent::kKeyNodeLargeSubtree:
+    case HazardEvent::kFrequentParentChange:
+    case HazardEvent::kNodeFailure:
+    case HazardEvent::kNodeReboot:
+      return HazardClass::kRouting;
+    case HazardEvent::kRoutingLoop:
+    case HazardEvent::kDuplicateStorm:
+      return HazardClass::kLoop;
+    case HazardEvent::kQueueOverflow:
+      return HazardClass::kQueue;
+  }
+  return HazardClass::kLink;
+}
+
+std::string_view hazard_class_name(HazardClass cls) noexcept {
+  switch (cls) {
+    case HazardClass::kEnvironment: return "environment";
+    case HazardClass::kEnergy: return "energy";
+    case HazardClass::kLink: return "link";
+    case HazardClass::kRouting: return "routing";
+    case HazardClass::kLoop: return "loop";
+    case HazardClass::kQueue: return "queue";
+  }
+  return "unknown";
+}
+
+}  // namespace vn2::metrics

@@ -1,0 +1,72 @@
+// Table I of the paper: the hazard-event taxonomy — which injected metrics
+// correlate with which network hazard, and what the hazard does to network
+// performance. The interpretation engine (src/core/interpretation.*) uses
+// this table to label root-cause vectors; bench_table1_hazards reproduces
+// the table by injecting each hazard in simulation and reporting the
+// responding metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "metrics/schema.hpp"
+
+namespace vn2::metrics {
+
+/// Hazard events observed in the paper's system (Table I plus the events
+/// exercised in the evaluation: node failure/reboot, contention, loops).
+enum class HazardEvent : std::uint8_t {
+  kUnstableClock,          ///< Temperature swing destabilizes hardware clock.
+  kNodeLowVoltage,         ///< Node stops working below 2.8 V.
+  kKeyNodeLargeSubtree,    ///< Many children make a node a single point of failure.
+  kRisingNoise,            ///< Neighbor noise floor rises; RSSI degrades.
+  kQueueOverflow,          ///< Receive queue overflows; incoming packets drop.
+  kLinkDegradation,        ///< Sender↔receiver link quality collapses.
+  kFrequentParentChange,   ///< Routing instability / link dynamics.
+  kRoutingLoop,            ///< A forwarding loop forms.
+  kPersistentDrop,         ///< Packet dropped after 30 retransmissions.
+  kDuplicateStorm,         ///< Duplicate packets flood the network.
+  kNodeFailure,            ///< A node disappears (testbed scenario event).
+  kNodeReboot,             ///< A node restarts (testbed scenario event).
+  kContention,             ///< Severe channel contention / jamming.
+};
+
+inline constexpr std::size_t kHazardCount = 13;
+
+/// Coarse manifestation class of a hazard. Several distinct hazards are
+/// indistinguishable at the metric level (a jammer and a rising noise floor
+/// both read as "the channel got worse"); diagnosis scoring matches at this
+/// level, mirroring how the paper groups its explanations ("link quality
+/// degradation ... may be caused by environment factors").
+enum class HazardClass : std::uint8_t {
+  kEnvironment,  ///< Clock drift / sensor-visible environment change.
+  kEnergy,       ///< Battery / voltage trouble.
+  kLink,         ///< Channel degradation: noise, fading, contention, drops.
+  kRouting,      ///< Topology churn: failures, reboots, parent flapping.
+  kLoop,         ///< Forwarding loops and their duplicate storms.
+  kQueue,        ///< Buffer overflow / congestion.
+};
+
+[[nodiscard]] HazardClass hazard_class(HazardEvent event) noexcept;
+[[nodiscard]] std::string_view hazard_class_name(HazardClass cls) noexcept;
+
+struct HazardInfo {
+  HazardEvent event;
+  std::string_view name;
+  /// Metrics whose variation is the hazard's primary signature (Table I col 1).
+  std::vector<MetricId> signature_metrics;
+  /// "Potential hazard events" column.
+  std::string_view description;
+  /// "Related network performance" column.
+  std::string_view performance_impact;
+};
+
+/// The full taxonomy in Table I order (plus evaluation events).
+[[nodiscard]] std::span<const HazardInfo> hazard_table();
+
+[[nodiscard]] const HazardInfo& hazard_info(HazardEvent event);
+[[nodiscard]] std::string_view hazard_name(HazardEvent event);
+
+}  // namespace vn2::metrics

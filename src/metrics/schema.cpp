@@ -1,0 +1,150 @@
+#include "metrics/schema.hpp"
+
+#include <stdexcept>
+
+namespace vn2::metrics {
+
+namespace {
+
+struct MetricInfo {
+  std::string_view name;
+  std::string_view short_name;
+  PacketType packet;
+  MetricKind kind;
+  MetricFamily family;
+};
+
+constexpr std::array<MetricInfo, kMetricCount> kInfo = {{
+    // C1
+    {"Temperature", "TMP", PacketType::kC1, MetricKind::kGauge,
+     MetricFamily::kEnvironment},
+    {"Humidity", "HUM", PacketType::kC1, MetricKind::kGauge,
+     MetricFamily::kEnvironment},
+    {"Light", "LGT", PacketType::kC1, MetricKind::kGauge,
+     MetricFamily::kEnvironment},
+    {"Voltage", "VOL", PacketType::kC1, MetricKind::kGauge,
+     MetricFamily::kEnergy},
+    {"Path_ETX", "PETX", PacketType::kC1, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Path_length", "PLEN", PacketType::kC1, MetricKind::kGauge,
+     MetricFamily::kRouting},
+    // C2 RSSI
+    {"Neighbor_RSSI_1", "RSSI1", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_RSSI_2", "RSSI2", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_RSSI_3", "RSSI3", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_RSSI_4", "RSSI4", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_RSSI_5", "RSSI5", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_RSSI_6", "RSSI6", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_RSSI_7", "RSSI7", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_RSSI_8", "RSSI8", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_RSSI_9", "RSSI9", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_RSSI_10", "RSSI10", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    // C2 ETX
+    {"Neighbor_ETX_1", "ETX1", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_ETX_2", "ETX2", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_ETX_3", "ETX3", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_ETX_4", "ETX4", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_ETX_5", "ETX5", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_ETX_6", "ETX6", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_ETX_7", "ETX7", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_ETX_8", "ETX8", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_ETX_9", "ETX9", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    {"Neighbor_ETX_10", "ETX10", PacketType::kC2, MetricKind::kGauge,
+     MetricFamily::kLinkQuality},
+    // C3 counters
+    {"Transmit_counter", "TPC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kTraffic},
+    {"Receive_counter", "RPC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kTraffic},
+    {"Self_transmit_counter", "STC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kTraffic},
+    {"Forward_counter", "FWC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kTraffic},
+    {"Parent_change_counter", "PCC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kRouting},
+    {"No_parent_counter", "NPC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kRouting},
+    {"Loop_counter", "LC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kRouting},
+    {"Duplicate_counter", "DC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kQueue},
+    {"Overflow_drop_counter", "ODC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kQueue},
+    {"NOACK_retransmit_counter", "TNARC", PacketType::kC3,
+     MetricKind::kCounter, MetricFamily::kContention},
+    {"Drop_packet_counter", "DPC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kQueue},
+    {"MacI_backoff_counter", "MIBOC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kContention},
+    {"Radio_on_time", "RODC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kRadio},
+    {"Beacon_sent_counter", "BSC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kRouting},
+    {"Beacon_recv_counter", "BRC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kRouting},
+    {"Neighbor_num", "NBN", PacketType::kC3, MetricKind::kGauge,
+     MetricFamily::kRouting},
+    {"Ack_fail_counter", "AFC", PacketType::kC3, MetricKind::kCounter,
+     MetricFamily::kContention},
+}};
+
+constexpr std::array<MetricId, kMetricCount> make_all() {
+  std::array<MetricId, kMetricCount> ids{};
+  for (std::size_t i = 0; i < kMetricCount; ++i)
+    ids[i] = static_cast<MetricId>(i);
+  return ids;
+}
+constexpr auto kAllMetrics = make_all();
+
+const MetricInfo& info(MetricId id) noexcept { return kInfo[index_of(id)]; }
+
+}  // namespace
+
+MetricId metric_at(std::size_t index) {
+  if (index >= kMetricCount)
+    throw std::out_of_range("metric_at: index >= kMetricCount");
+  return static_cast<MetricId>(index);
+}
+
+std::string_view name(MetricId id) noexcept { return info(id).name; }
+std::string_view short_name(MetricId id) noexcept { return info(id).short_name; }
+PacketType packet_type(MetricId id) noexcept { return info(id).packet; }
+MetricKind kind(MetricId id) noexcept { return info(id).kind; }
+MetricFamily family(MetricId id) noexcept { return info(id).family; }
+
+std::string_view family_name(MetricFamily family) noexcept {
+  switch (family) {
+    case MetricFamily::kEnvironment: return "environment";
+    case MetricFamily::kEnergy: return "energy";
+    case MetricFamily::kLinkQuality: return "link-quality";
+    case MetricFamily::kRouting: return "routing";
+    case MetricFamily::kContention: return "contention";
+    case MetricFamily::kQueue: return "queue";
+    case MetricFamily::kTraffic: return "traffic";
+    case MetricFamily::kRadio: return "radio";
+  }
+  return "unknown";
+}
+
+std::span<const MetricId> all_metrics() noexcept { return kAllMetrics; }
+
+}  // namespace vn2::metrics

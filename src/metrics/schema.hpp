@@ -1,0 +1,115 @@
+// The VN2 metric schema: the M = 43 performance-correlated metrics injected
+// into every sensor node (paper §III-C), grouped by the packet that carries
+// them home:
+//   C1 — sensor & routing state   (6 metrics: temperature, humidity, light,
+//        voltage, path-ETX, path length),
+//   C2 — neighbor table           (10 neighbor RSSI + 10 neighbor link-ETX),
+//   C3 — protocol counters        (17 counters across MAC/link/network/app).
+// 6 + 20 + 17 = 43 = kMetricCount.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace vn2::metrics {
+
+inline constexpr std::size_t kMetricCount = 43;
+inline constexpr std::size_t kMaxNeighbors = 10;  ///< C2 routing-table size.
+
+/// Identifier of every injected metric. The numeric value is the column
+/// index of the metric in every state vector / exceptions matrix.
+enum class MetricId : std::uint8_t {
+  // --- C1: sensor data + routing information -------------------------------
+  kTemperature = 0,
+  kHumidity,
+  kLight,
+  kVoltage,
+  kPathEtx,
+  kPathLength,
+  // --- C2: routing table (up to 10 neighbors) ------------------------------
+  kNeighborRssi0,  // kNeighborRssi0 + i is neighbor slot i, i < kMaxNeighbors
+  kNeighborRssi1,
+  kNeighborRssi2,
+  kNeighborRssi3,
+  kNeighborRssi4,
+  kNeighborRssi5,
+  kNeighborRssi6,
+  kNeighborRssi7,
+  kNeighborRssi8,
+  kNeighborRssi9,
+  kNeighborEtx0,  // kNeighborEtx0 + i is neighbor slot i
+  kNeighborEtx1,
+  kNeighborEtx2,
+  kNeighborEtx3,
+  kNeighborEtx4,
+  kNeighborEtx5,
+  kNeighborEtx6,
+  kNeighborEtx7,
+  kNeighborEtx8,
+  kNeighborEtx9,
+  // --- C3: protocol counters ------------------------------------------------
+  kTransmitCounter,         ///< TPC — all packets put on air.
+  kReceiveCounter,          ///< Packets received (data plane).
+  kSelfTransmitCounter,     ///< Self-generated data packets sent.
+  kForwardCounter,          ///< Packets forwarded for children.
+  kParentChangeCounter,     ///< PC — routing parent switches.
+  kNoParentCounter,         ///< NPC — epochs spent with no route.
+  kLoopCounter,             ///< LC — routing loops detected.
+  kDuplicateCounter,        ///< DC — duplicate packets seen.
+  kOverflowDropCounter,     ///< Queue-overflow drops.
+  kNoackRetransmitCounter,  ///< Retransmits due to missing ACK.
+  kDropPacketCounter,       ///< Packets dropped after 30 retransmits.
+  kMacBackoffCounter,       ///< MIBOC — CSMA backoffs (channel busy).
+  kRadioOnTime,             ///< RODC — cumulative radio-on duty time.
+  kBeaconSentCounter,       ///< Routing beacons sent.
+  kBeaconRecvCounter,       ///< Routing beacons received.
+  kNeighborNum,             ///< Current routing-table occupancy.
+  kAckFailCounter,          ///< ACKs we failed to deliver as receiver.
+};
+
+/// The packet type that carries a metric to the sink.
+enum class PacketType : std::uint8_t { kC1 = 1, kC2 = 2, kC3 = 3 };
+
+/// Counters grow monotonically; gauges move both ways.
+enum class MetricKind : std::uint8_t { kGauge, kCounter };
+
+/// Semantic family, used by the root-cause interpretation engine to label
+/// the rows of the representative matrix (paper §IV-C, Fig. 4 families).
+enum class MetricFamily : std::uint8_t {
+  kEnvironment,   ///< Temperature / humidity / light.
+  kEnergy,        ///< Voltage.
+  kLinkQuality,   ///< Neighbor RSSI / ETX, path ETX.
+  kRouting,       ///< Parent changes, loops, path shape, beacons.
+  kContention,    ///< MAC backoff, NOACK retransmits, ack failures.
+  kQueue,         ///< Overflow drops, duplicates, packet drops.
+  kTraffic,       ///< Transmit / receive / forward volumes.
+  kRadio,         ///< Radio-on time.
+};
+
+[[nodiscard]] constexpr std::size_t index_of(MetricId id) noexcept {
+  return static_cast<std::size_t>(id);
+}
+[[nodiscard]] MetricId metric_at(std::size_t index);  ///< Throws out_of_range.
+
+[[nodiscard]] std::string_view name(MetricId id) noexcept;
+/// Terse label used on figure axes (e.g. "LC" for Loop_counter).
+[[nodiscard]] std::string_view short_name(MetricId id) noexcept;
+[[nodiscard]] PacketType packet_type(MetricId id) noexcept;
+[[nodiscard]] MetricKind kind(MetricId id) noexcept;
+[[nodiscard]] MetricFamily family(MetricId id) noexcept;
+[[nodiscard]] std::string_view family_name(MetricFamily family) noexcept;
+
+/// All 43 ids in column order.
+[[nodiscard]] std::span<const MetricId> all_metrics() noexcept;
+
+/// Neighbor-slot helpers for the C2 block.
+[[nodiscard]] constexpr MetricId neighbor_rssi(std::size_t slot) noexcept {
+  return static_cast<MetricId>(index_of(MetricId::kNeighborRssi0) + slot);
+}
+[[nodiscard]] constexpr MetricId neighbor_etx(std::size_t slot) noexcept {
+  return static_cast<MetricId>(index_of(MetricId::kNeighborEtx0) + slot);
+}
+
+}  // namespace vn2::metrics

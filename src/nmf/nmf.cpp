@@ -1,0 +1,96 @@
+#include "nmf/nmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/random.hpp"
+
+namespace vn2::nmf {
+
+using linalg::Matrix;
+
+namespace {
+
+// Guards the multiplicative-update denominators. Lee–Seung updates keep
+// strictly positive factors positive; the epsilon only matters when a factor
+// entry collapses to numerical zero, where it pins the entry at zero instead
+// of producing NaN.
+constexpr double kDenominatorFloor = 1e-12;
+
+}  // namespace
+
+double approximation_accuracy(const Matrix& e, const Matrix& w,
+                              const Matrix& psi) {
+  return linalg::frobenius_distance(e, linalg::matmul(w, psi));
+}
+
+double NmfResult::approximation_accuracy(const Matrix& e) const {
+  return nmf::approximation_accuracy(e, w, psi);
+}
+
+void multiplicative_update(const Matrix& e, Matrix& w, Matrix& psi) {
+  if (w.rows() != e.rows() || psi.cols() != e.cols() ||
+      w.cols() != psi.rows())
+    throw std::invalid_argument("multiplicative_update: shape mismatch");
+
+  // Ψ ← Ψ ∘ (WᵀE) ⊘ (WᵀWΨ)
+  {
+    const Matrix wt = linalg::transpose(w);
+    const Matrix numerator = linalg::matmul(wt, e);
+    const Matrix denominator =
+        linalg::matmul(linalg::matmul(wt, w), psi);
+    for (std::size_t i = 0; i < psi.size(); ++i) {
+      const double denom = std::max(denominator.data()[i], kDenominatorFloor);
+      psi.data()[i] *= numerator.data()[i] / denom;
+    }
+  }
+  // W ← W ∘ (EΨᵀ) ⊘ (WΨΨᵀ)
+  {
+    const Matrix psit = linalg::transpose(psi);
+    const Matrix numerator = linalg::matmul(e, psit);
+    const Matrix denominator =
+        linalg::matmul(w, linalg::matmul(psi, psit));
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double denom = std::max(denominator.data()[i], kDenominatorFloor);
+      w.data()[i] *= numerator.data()[i] / denom;
+    }
+  }
+}
+
+NmfResult factorize(const Matrix& e, std::size_t rank,
+                    const NmfOptions& options) {
+  if (e.empty()) throw std::invalid_argument("nmf: empty input matrix");
+  if (!linalg::is_nonnegative(e))
+    throw std::invalid_argument("nmf: input matrix must be non-negative");
+  if (rank == 0 || rank > std::min(e.rows(), e.cols()))
+    throw std::invalid_argument("nmf: rank must be in [1, min(n, m)]");
+
+  NmfResult result;
+  // Initialize away from zero: a zero entry is a fixed point of the
+  // multiplicative update and would freeze part of the factorization.
+  result.w = linalg::random_uniform_matrix(e.rows(), rank, options.seed,
+                                           0.05, 1.0);
+  result.psi = linalg::random_uniform_matrix(rank, e.cols(),
+                                             options.seed ^ 0x9e3779b97f4a7c15ULL,
+                                             0.05, 1.0);
+
+  double previous = approximation_accuracy(e, result.w, result.psi);
+  if (options.record_objective) result.objective_history.push_back(previous);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    multiplicative_update(e, result.w, result.psi);
+    result.iterations = it + 1;
+    const double current = approximation_accuracy(e, result.w, result.psi);
+    if (options.record_objective) result.objective_history.push_back(current);
+    const double scale = std::max(previous, 1e-30);
+    if ((previous - current) / scale < options.relative_tolerance) {
+      result.converged = true;
+      break;
+    }
+    previous = current;
+  }
+  return result;
+}
+
+}  // namespace vn2::nmf

@@ -1,0 +1,57 @@
+// Non-negative Matrix Factorization — the analytical core of VN2.
+//
+// Implements the paper's Algorithm 1: Lee–Seung multiplicative updates for
+// the Euclidean objective ‖E − W·Ψ‖_F (Seung & Lee, NIPS 2001; the paper's
+// Theorem 1 is their monotonicity result and is property-tested here).
+//
+// Naming follows the paper: the n×m input E holds one network state per row
+// (n states, m = 43 metrics); W is n×r "correlation strength"; Ψ (`psi`) is
+// the r×m "representative matrix" whose rows are root-cause vectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace vn2::nmf {
+
+struct NmfOptions {
+  std::size_t max_iterations = 500;
+  /// Stop once the relative objective improvement per iteration falls below
+  /// this value.
+  double relative_tolerance = 1e-6;
+  /// Seed for the random initialization of W and Ψ.
+  std::uint64_t seed = 0x5eed0001ULL;
+  /// Record ‖E − WΨ‖_F after every iteration (cheap at VN2 sizes and used by
+  /// the convergence tests and benchmarks).
+  bool record_objective = true;
+};
+
+struct NmfResult {
+  linalg::Matrix w;    ///< n × r correlation strengths.
+  linalg::Matrix psi;  ///< r × m representative matrix (root-cause rows).
+  std::vector<double> objective_history;  ///< ‖E − WΨ‖_F per iteration.
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  /// Approximation accuracy α = ‖E − WΨ‖ (paper, Definition 1).
+  [[nodiscard]] double approximation_accuracy(const linalg::Matrix& e) const;
+};
+
+/// Factorizes non-negative E (n×m) as W(n×r)·Ψ(r×m).
+/// Throws std::invalid_argument if E has negative entries, is empty, or if
+/// r == 0 or r > min(n, m).
+NmfResult factorize(const linalg::Matrix& e, std::size_t rank,
+                    const NmfOptions& options = {});
+
+/// One multiplicative update sweep (Ψ then W), exposed so tests can assert
+/// Theorem 1 (monotone non-increasing objective) step by step.
+void multiplicative_update(const linalg::Matrix& e, linalg::Matrix& w,
+                           linalg::Matrix& psi);
+
+/// Approximation accuracy α = ‖E − WΨ‖_F for arbitrary factors.
+double approximation_accuracy(const linalg::Matrix& e, const linalg::Matrix& w,
+                              const linalg::Matrix& psi);
+
+}  // namespace vn2::nmf

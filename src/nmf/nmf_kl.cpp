@@ -1,0 +1,116 @@
+#include "nmf/nmf_kl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/random.hpp"
+
+namespace vn2::nmf {
+
+using linalg::Matrix;
+
+namespace {
+constexpr double kFloor = 1e-12;
+}  // namespace
+
+double kl_divergence(const Matrix& e, const Matrix& approx) {
+  if (e.rows() != approx.rows() || e.cols() != approx.cols())
+    throw std::invalid_argument("kl_divergence: shape mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    const double v = e.data()[i];
+    const double a = std::max(approx.data()[i], kFloor);
+    if (v > 0.0) total += v * std::log(v / a) - v + a;
+    else total += a;
+  }
+  return total;
+}
+
+void kl_multiplicative_update(const Matrix& e, Matrix& w, Matrix& psi) {
+  if (w.rows() != e.rows() || psi.cols() != e.cols() ||
+      w.cols() != psi.rows())
+    throw std::invalid_argument("kl_multiplicative_update: shape mismatch");
+
+  const std::size_t n = e.rows(), m = e.cols(), r = w.cols();
+
+  // Ψ_aj ← Ψ_aj · ( Σ_i W_ia · E_ij / (WΨ)_ij ) / ( Σ_i W_ia )
+  {
+    const Matrix wp = linalg::matmul(w, psi);
+    Matrix numerator(r, m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const double ratio = e(i, j) / std::max(wp(i, j), kFloor);
+        if (ratio == 0.0) continue;
+        for (std::size_t a = 0; a < r; ++a)
+          numerator(a, j) += w(i, a) * ratio;
+      }
+    }
+    std::vector<double> column_sums(r, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t a = 0; a < r; ++a) column_sums[a] += w(i, a);
+    for (std::size_t a = 0; a < r; ++a) {
+      const double denom = std::max(column_sums[a], kFloor);
+      for (std::size_t j = 0; j < m; ++j)
+        psi(a, j) *= numerator(a, j) / denom;
+    }
+  }
+
+  // W_ia ← W_ia · ( Σ_j Ψ_aj · E_ij / (WΨ)_ij ) / ( Σ_j Ψ_aj )
+  {
+    const Matrix wp = linalg::matmul(w, psi);
+    Matrix numerator(n, r, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const double ratio = e(i, j) / std::max(wp(i, j), kFloor);
+        if (ratio == 0.0) continue;
+        for (std::size_t a = 0; a < r; ++a)
+          numerator(i, a) += psi(a, j) * ratio;
+      }
+    }
+    std::vector<double> row_sums(r, 0.0);
+    for (std::size_t a = 0; a < r; ++a)
+      for (std::size_t j = 0; j < m; ++j) row_sums[a] += psi(a, j);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t a = 0; a < r; ++a) {
+        const double denom = std::max(row_sums[a], kFloor);
+        w(i, a) *= numerator(i, a) / denom;
+      }
+    }
+  }
+}
+
+KlNmfResult factorize_kl(const Matrix& e, std::size_t rank,
+                         const KlNmfOptions& options) {
+  if (e.empty()) throw std::invalid_argument("nmf_kl: empty input matrix");
+  if (!linalg::is_nonnegative(e))
+    throw std::invalid_argument("nmf_kl: input matrix must be non-negative");
+  if (rank == 0 || rank > std::min(e.rows(), e.cols()))
+    throw std::invalid_argument("nmf_kl: rank must be in [1, min(n, m)]");
+
+  KlNmfResult result;
+  result.w = linalg::random_uniform_matrix(e.rows(), rank, options.seed,
+                                           0.05, 1.0);
+  result.psi = linalg::random_uniform_matrix(
+      rank, e.cols(), options.seed ^ 0x9e3779b97f4a7c15ULL, 0.05, 1.0);
+
+  double previous = kl_divergence(e, linalg::matmul(result.w, result.psi));
+  if (options.record_objective) result.objective_history.push_back(previous);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    kl_multiplicative_update(e, result.w, result.psi);
+    result.iterations = it + 1;
+    const double current =
+        kl_divergence(e, linalg::matmul(result.w, result.psi));
+    if (options.record_objective) result.objective_history.push_back(current);
+    const double scale = std::max(std::abs(previous), 1e-30);
+    if ((previous - current) / scale < options.relative_tolerance) {
+      result.converged = true;
+      break;
+    }
+    previous = current;
+  }
+  return result;
+}
+
+}  // namespace vn2::nmf

@@ -1,0 +1,53 @@
+// Compression-factor (rank) selection — the Fig. 3(b) procedure.
+//
+// For each candidate r the exceptions matrix is factorized, the
+// approximation accuracy α = ‖E − WΨ‖ (Definition 1) is computed with the
+// original W and again with the sparsified W̄ (Algorithm 2), and the r at
+// which the two curves stay close while α has left its small-r blow-up is
+// chosen. The paper picks r = 25 for CitySee and r = 10 for the testbed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "nmf/nmf.hpp"
+#include "nmf/sparsify.hpp"
+
+namespace vn2::nmf {
+
+struct RankPoint {
+  std::size_t rank = 0;
+  double accuracy_original = 0.0;  ///< α with the dense W.
+  double accuracy_sparse = 0.0;    ///< α with the sparsified W̄.
+};
+
+struct RankSweepOptions {
+  NmfOptions nmf;
+  SparsifyOptions sparsify;
+};
+
+/// Factorizes E at every rank in `ranks` and records both accuracy curves.
+/// Ranks outside [1, min(n, m)] are skipped.
+std::vector<RankPoint> rank_sweep(const linalg::Matrix& e,
+                                  const std::vector<std::size_t>& ranks,
+                                  const RankSweepOptions& options = {});
+
+struct RankChoice {
+  std::size_t rank = 0;
+  /// Index into the sweep the choice came from.
+  std::size_t sweep_index = 0;
+};
+
+/// Picks the compression factor from a sweep following the paper's two
+/// criteria: (1) avoid the small-r regime where α degrades steeply — detected
+/// as the first rank after which the marginal improvement per added rank
+/// drops below `knee_fraction` of the sweep's largest marginal improvement;
+/// (2) avoid the large-r regime where the sparse curve diverges from the
+/// dense one by more than `divergence_fraction` of α.
+/// Throws std::invalid_argument on an empty sweep.
+RankChoice choose_rank(const std::vector<RankPoint>& sweep,
+                       double knee_fraction = 0.10,
+                       double divergence_fraction = 0.12);
+
+}  // namespace vn2::nmf

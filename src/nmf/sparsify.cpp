@@ -1,0 +1,66 @@
+#include "nmf/sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vn2::nmf {
+
+using linalg::Matrix;
+
+SparsifyResult sparsify(const Matrix& w, const SparsifyOptions& options) {
+  if (options.retained_mass <= 0.0 || options.retained_mass > 1.0)
+    throw std::invalid_argument("sparsify: retained_mass must be in (0, 1]");
+
+  // Step 1: normalization. Each exception row is scaled to unit L1 so that
+  // rows with large absolute strengths do not monopolize the selection.
+  Matrix normalized = w;
+  if (options.normalize_rows) {
+    for (std::size_t i = 0; i < normalized.rows(); ++i) {
+      auto row = normalized.row(i);
+      double mass = 0.0;
+      for (double x : row) mass += std::abs(x);
+      if (mass > 0.0)
+        for (double& x : row) x /= mass;
+    }
+  }
+
+  // Step 2: sort all entries in descending order of magnitude.
+  std::vector<std::size_t> order(normalized.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(normalized.data()[a]) > std::abs(normalized.data()[b]);
+  });
+
+  const double total_mass = linalg::entrywise_l1(normalized);
+
+  // Steps 3–6: move largest entries into W̄ until ‖W̄‖ ≥ retained_mass·‖W‖.
+  SparsifyResult result;
+  result.w_sparse = Matrix(w.rows(), w.cols(), 0.0);
+  double kept_mass = 0.0;
+  const double target = options.retained_mass * total_mass;
+  for (std::size_t idx : order) {
+    if (kept_mass >= target) break;
+    const double value = normalized.data()[idx];
+    if (value == 0.0) break;  // Only zeros remain.
+    // Copy the *original* (un-normalized) value: normalization only steers
+    // the selection, the surviving strengths keep their physical scale.
+    result.w_sparse.data()[idx] = w.data()[idx];
+    kept_mass += std::abs(value);
+    ++result.kept_entries;
+  }
+  result.retained_fraction = total_mass > 0.0 ? kept_mass / total_mass : 1.0;
+  return result;
+}
+
+double mean_active_causes(const Matrix& w_sparse, double threshold) {
+  if (w_sparse.rows() == 0) return 0.0;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < w_sparse.size(); ++i)
+    if (std::abs(w_sparse.data()[i]) > threshold) ++active;
+  return static_cast<double>(active) / static_cast<double>(w_sparse.rows());
+}
+
+}  // namespace vn2::nmf

@@ -1,0 +1,40 @@
+// Algorithm 2 of the paper: "Basis Matrix Sparse Process".
+//
+// The correlation-strength matrix W is normalized, its entries are sorted in
+// descending order, and entries are copied into a sparse W̄ largest-first
+// until W̄ retains a target fraction (paper: 90%) of W's mass. The effect is
+// that each exception row of E ends up explained by only a few root-cause
+// rows of Ψ — the Occam's-razor constraint the paper uses when picking the
+// compression factor r.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace vn2::nmf {
+
+struct SparsifyOptions {
+  /// Fraction of ‖W‖ mass the sparse matrix must retain (paper: 0.9).
+  double retained_mass = 0.9;
+  /// Normalize W rows to unit L1 before selection, as Algorithm 2 step 1.
+  bool normalize_rows = true;
+};
+
+struct SparsifyResult {
+  linalg::Matrix w_sparse;     ///< Same shape as W; pruned entries are 0.
+  std::size_t kept_entries = 0;
+  double retained_fraction = 0.0;  ///< Achieved ‖W̄‖₁ / ‖W‖₁.
+};
+
+/// Returns the sparsified W̄. Mass is measured in entrywise L1, which is the
+/// natural norm for the non-negative W produced by NMF.
+/// Throws std::invalid_argument if retained_mass is outside (0, 1].
+SparsifyResult sparsify(const linalg::Matrix& w, const SparsifyOptions& options = {});
+
+/// Average number of non-zero root causes used per exception row of W̄ —
+/// the sparsity statistic reported alongside Fig. 3(c).
+double mean_active_causes(const linalg::Matrix& w_sparse,
+                          double threshold = 0.0);
+
+}  // namespace vn2::nmf

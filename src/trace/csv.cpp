@@ -1,0 +1,123 @@
+#include "trace/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace vn2::trace {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, sep)) out.push_back(field);
+  return out;
+}
+
+double parse_double(const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("csv: malformed numeric field '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const Trace& trace) {
+  os.precision(17);  // Round-trip exact doubles.
+  os << "node,epoch,time";
+  for (metrics::MetricId id : metrics::all_metrics()) os << ',' << name(id);
+  os << '\n';
+  for (const NodeSeries& series : trace.nodes) {
+    for (const Snapshot& snap : series.snapshots) {
+      os << series.node << ',' << snap.epoch << ',' << snap.time;
+      for (double v : snap.values) os << ',' << v;
+      os << '\n';
+    }
+  }
+}
+
+void write_trace_csv_file(const std::string& path, const Trace& trace) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open for write: " + path);
+  write_trace_csv(file, trace);
+}
+
+Trace read_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("csv: empty trace file");
+  const auto header = split(line, ',');
+  if (header.size() != 3 + metrics::kMetricCount)
+    throw std::runtime_error("csv: unexpected column count in header");
+
+  std::map<wsn::NodeId, NodeSeries> by_node;
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = split(line, ',');
+    if (fields.size() != 3 + metrics::kMetricCount)
+      throw std::runtime_error("csv: unexpected column count in row");
+    const auto node = static_cast<wsn::NodeId>(parse_double(fields[0]));
+    Snapshot snap;
+    snap.epoch = static_cast<std::uint64_t>(parse_double(fields[1]));
+    snap.time = parse_double(fields[2]);
+    for (std::size_t m = 0; m < metrics::kMetricCount; ++m)
+      snap.values[m] = parse_double(fields[3 + m]);
+    NodeSeries& series = by_node[node];
+    series.node = node;
+    series.snapshots.push_back(snap);
+    ++rows;
+  }
+
+  Trace trace;
+  for (auto& [id, series] : by_node) {
+    std::sort(series.snapshots.begin(), series.snapshots.end(),
+              [](const Snapshot& a, const Snapshot& b) {
+                return a.epoch < b.epoch;
+              });
+    trace.node_count = std::max<std::size_t>(trace.node_count, id + 1u);
+    for (const Snapshot& s : series.snapshots)
+      trace.duration = std::max(trace.duration, s.time);
+    trace.nodes.push_back(std::move(series));
+  }
+  return trace;
+}
+
+Trace read_trace_csv_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open for read: " + path);
+  return read_trace_csv(file);
+}
+
+void write_matrix_csv(std::ostream& os, const linalg::Matrix& m) {
+  os.precision(17);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (j) os << ',';
+      os << m(i, j);
+    }
+    os << '\n';
+  }
+}
+
+linalg::Matrix read_matrix_csv(std::istream& is) {
+  linalg::Matrix m;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = split(line, ',');
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const std::string& f : fields) row.push_back(parse_double(f));
+    m.append_row(row);
+  }
+  return m;
+}
+
+}  // namespace vn2::trace

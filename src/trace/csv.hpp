@@ -1,0 +1,30 @@
+// CSV persistence for traces and state matrices, so field data can be
+// exported for offline analysis and external traces can be replayed through
+// the VN2 pipeline in place of a live simulation.
+//
+// Trace format (one row per snapshot):
+//   node,epoch,time,<43 metric columns by schema name>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "trace/trace.hpp"
+
+namespace vn2::trace {
+
+/// Writes a trace as CSV (with a header row).
+void write_trace_csv(std::ostream& os, const Trace& trace);
+void write_trace_csv_file(const std::string& path, const Trace& trace);
+
+/// Reads a trace written by write_trace_csv. Throws std::runtime_error on a
+/// malformed header or row.
+Trace read_trace_csv(std::istream& is);
+Trace read_trace_csv_file(const std::string& path);
+
+/// Writes a plain numeric matrix (no header) — used for exceptions/Ψ dumps.
+void write_matrix_csv(std::ostream& os, const linalg::Matrix& m);
+linalg::Matrix read_matrix_csv(std::istream& is);
+
+}  // namespace vn2::trace

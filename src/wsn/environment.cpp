@@ -1,0 +1,102 @@
+#include "wsn/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace vn2::wsn {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+/// SplitMix64 — cheap stateless hash used for per-sample deterministic noise.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a hash value.
+double to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+Environment::Environment(EnvironmentParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+void Environment::add_disturbance(const Disturbance& d) {
+  disturbances_.push_back(d);
+}
+
+double Environment::disturbance_sum(Disturbance::Kind kind, const Position& p,
+                                    Time t) const {
+  double total = 0.0;
+  for (const Disturbance& d : disturbances_) {
+    if (d.kind != kind || t < d.start || t > d.end) continue;
+    const double dist = distance(p, d.center);
+    if (dist > d.radius_m) continue;
+    // Linear falloff from the epicenter.
+    total += d.magnitude * (1.0 - dist / std::max(d.radius_m, 1e-9));
+  }
+  return total;
+}
+
+double Environment::temperature_c(const Position& p, Time t) const {
+  const double day_phase =
+      2.0 * std::numbers::pi *
+      std::fmod(t + params_.start_of_day_s, kSecondsPerDay) / kSecondsPerDay;
+  // Peak mid-afternoon (phase shift), trough pre-dawn.
+  const double diurnal = params_.diurnal_temperature_amplitude_c *
+                         std::sin(day_phase - std::numbers::pi / 2.0);
+  // Mild spatial gradient so nodes are not identical.
+  const double spatial = 0.002 * (p.x + p.y);
+  return params_.mean_temperature_c + diurnal + spatial +
+         disturbance_sum(Disturbance::Kind::kTemperatureSpike, p, t);
+}
+
+double Environment::humidity_pct(const Position& p, Time t) const {
+  const double day_phase =
+      2.0 * std::numbers::pi *
+      std::fmod(t + params_.start_of_day_s, kSecondsPerDay) / kSecondsPerDay;
+  // Humidity runs opposite to temperature.
+  const double diurnal = params_.diurnal_humidity_amplitude_pct *
+                         std::sin(day_phase + std::numbers::pi / 2.0);
+  const double h = params_.mean_humidity_pct + diurnal +
+                   disturbance_sum(Disturbance::Kind::kHumiditySpike, p, t);
+  return std::clamp(h, 0.0, 100.0);
+}
+
+double Environment::light_lux(const Position& p, Time t) const {
+  (void)p;
+  const double seconds_into_day =
+      std::fmod(t + params_.start_of_day_s, kSecondsPerDay);
+  // Daylight window 06:00–18:00 with a sinusoidal arc.
+  const double sunrise = 6.0 * 3600.0;
+  const double sunset = 18.0 * 3600.0;
+  if (seconds_into_day < sunrise || seconds_into_day > sunset) return 0.0;
+  const double arc = std::numbers::pi * (seconds_into_day - sunrise) /
+                     (sunset - sunrise);
+  return params_.max_light_lux * std::sin(arc);
+}
+
+double Environment::noise_floor_dbm(const Position& p, Time t) const {
+  return params_.base_noise_dbm +
+         disturbance_sum(Disturbance::Kind::kNoiseRise, p, t);
+}
+
+double Environment::sensor_jitter(NodeId node, std::uint32_t metric,
+                                  std::uint64_t epoch) const {
+  const std::uint64_t h =
+      mix(seed_ ^ mix(static_cast<std::uint64_t>(node) << 40 ^
+                      static_cast<std::uint64_t>(metric) << 20 ^ epoch));
+  // Approximate Gaussian by summing three uniforms (Irwin–Hall), centered.
+  const double u = to_unit(h) + to_unit(mix(h)) + to_unit(mix(mix(h)));
+  const double gauss = (u - 1.5) * 2.0;  // roughly N(0, 1) on [-3, 3]
+  return 1.0 + params_.sensor_noise_stddev * gauss;
+}
+
+}  // namespace vn2::wsn

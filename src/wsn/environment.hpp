@@ -1,0 +1,83 @@
+// Physical environment model: diurnal sensor fields (temperature, humidity,
+// light), a spatial noise floor, and scriptable regional disturbances.
+//
+// The CitySee motes sample their environment each reporting epoch; hazards
+// like rising noise or temperature-driven clock drift enter the simulation
+// through this model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wsn/types.hpp"
+
+namespace vn2::wsn {
+
+struct EnvironmentParams {
+  double mean_temperature_c = 26.0;   ///< August in an urban deployment.
+  double diurnal_temperature_amplitude_c = 6.0;
+  double mean_humidity_pct = 60.0;
+  double diurnal_humidity_amplitude_pct = 15.0;
+  double max_light_lux = 900.0;
+  double base_noise_dbm = -98.0;      ///< CC2420-like noise floor.
+  double sensor_noise_stddev = 0.03;  ///< Relative measurement jitter.
+  /// Seconds after midnight at which the simulation starts.
+  double start_of_day_s = 8.0 * 3600.0;
+};
+
+/// A time-bounded regional disturbance of one environmental quantity.
+struct Disturbance {
+  enum class Kind : std::uint8_t {
+    kNoiseRise,        ///< Raises the noise floor (dB added).
+    kTemperatureSpike, ///< Adds degrees C.
+    kHumiditySpike,    ///< Adds percentage points.
+  };
+  Kind kind = Kind::kNoiseRise;
+  Position center;
+  double radius_m = 50.0;
+  Time start = 0.0;
+  Time end = 0.0;
+  double magnitude = 0.0;
+};
+
+/// Deterministic (seeded) environment. All queries are pure functions of
+/// (position, time) plus the registered disturbances, so nodes can sample
+/// independently without shared mutable state.
+class Environment {
+ public:
+  explicit Environment(EnvironmentParams params = {},
+                       std::uint64_t seed = 0xE27B0ULL);
+
+  void add_disturbance(const Disturbance& d);
+  [[nodiscard]] const std::vector<Disturbance>& disturbances() const noexcept {
+    return disturbances_;
+  }
+
+  /// Ambient temperature in °C at a position and time.
+  [[nodiscard]] double temperature_c(const Position& p, Time t) const;
+  /// Relative humidity in percent.
+  [[nodiscard]] double humidity_pct(const Position& p, Time t) const;
+  /// Illuminance in lux (0 at night, peaking midday).
+  [[nodiscard]] double light_lux(const Position& p, Time t) const;
+  /// Noise floor in dBm, including active noise disturbances.
+  [[nodiscard]] double noise_floor_dbm(const Position& p, Time t) const;
+
+  /// Multiplicative sensor jitter in [1-3σ, 1+3σ], deterministic per
+  /// (node, metric, epoch) so that repeated queries agree.
+  [[nodiscard]] double sensor_jitter(NodeId node, std::uint32_t metric,
+                                     std::uint64_t epoch) const;
+
+  [[nodiscard]] const EnvironmentParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  EnvironmentParams params_;
+  std::uint64_t seed_;
+  std::vector<Disturbance> disturbances_;
+
+  [[nodiscard]] double disturbance_sum(Disturbance::Kind kind,
+                                       const Position& p, Time t) const;
+};
+
+}  // namespace vn2::wsn

@@ -1,0 +1,42 @@
+#include "wsn/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vn2::wsn {
+
+void EventQueue::schedule(Time at, Callback fn) {
+  heap_.push(Entry{std::max(at, now_), next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(Time delay, Callback fn) {
+  schedule(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+std::size_t EventQueue::run_until(Time until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    // Copy out before pop: the callback may schedule new events.
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.at;
+    entry.fn();
+    ++executed;
+  }
+  now_ = std::max(now_, until);
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.at;
+    entry.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace vn2::wsn

@@ -1,0 +1,56 @@
+// Discrete-event engine: a time-ordered queue of callbacks.
+//
+// Events scheduled at the same timestamp fire in scheduling order (a strictly
+// increasing sequence number breaks ties), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "wsn/types.hpp"
+
+namespace vn2::wsn {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`. Events in the past (before the
+  /// current time) are clamped to "now" rather than reordering history.
+  void schedule(Time at, Callback fn);
+
+  /// Schedules `fn` `delay` seconds from the current time.
+  void schedule_in(Time delay, Callback fn);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Runs events until the queue empties or the next event is after
+  /// `until`. Returns the number of events executed.
+  std::size_t run_until(Time until);
+
+  /// Runs everything. Returns the number of events executed.
+  std::size_t run_all();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vn2::wsn

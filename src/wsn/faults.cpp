@@ -1,0 +1,25 @@
+#include "wsn/faults.hpp"
+
+namespace vn2::wsn {
+
+metrics::HazardEvent hazard_of(FaultCommand::Type type) noexcept {
+  using metrics::HazardEvent;
+  switch (type) {
+    case FaultCommand::Type::kNodeFailure: return HazardEvent::kNodeFailure;
+    case FaultCommand::Type::kNodeReboot: return HazardEvent::kNodeReboot;
+    case FaultCommand::Type::kLinkDegradation:
+      return HazardEvent::kLinkDegradation;
+    case FaultCommand::Type::kJammer: return HazardEvent::kContention;
+    case FaultCommand::Type::kForcedLoop: return HazardEvent::kRoutingLoop;
+    case FaultCommand::Type::kBatteryDrain:
+      return HazardEvent::kNodeLowVoltage;
+    case FaultCommand::Type::kCongestionBurst:
+      return HazardEvent::kQueueOverflow;
+    case FaultCommand::Type::kNoiseRise: return HazardEvent::kRisingNoise;
+    case FaultCommand::Type::kTemperatureSpike:
+      return HazardEvent::kUnstableClock;
+  }
+  return HazardEvent::kLinkDegradation;
+}
+
+}  // namespace vn2::wsn

@@ -1,0 +1,48 @@
+// Fault injection: the hazard classes of the paper's Table I and evaluation,
+// expressed as a time-ordered schedule the simulator executes. Every applied
+// fault is also recorded as ground truth so the evaluation benches can score
+// diagnoses against what was actually injected.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/hazards.hpp"
+#include "wsn/types.hpp"
+
+namespace vn2::wsn {
+
+struct FaultCommand {
+  enum class Type : std::uint8_t {
+    kNodeFailure,      ///< Node goes dark at `start` (until a later reboot).
+    kNodeReboot,       ///< Node restarts at `start` (counters reset).
+    kLinkDegradation,  ///< Extra loss on link (node, peer) over [start, end].
+    kJammer,           ///< Contention source at `center`/`radius` over [start, end].
+    kForcedLoop,       ///< Pins node's parent to a child over [start, end].
+    kBatteryDrain,     ///< Drain-rate multiplier on node over [start, end].
+    kCongestionBurst,  ///< Nodes within radius emit extra traffic over [start, end].
+    kNoiseRise,        ///< Regional noise-floor rise over [start, end].
+    kTemperatureSpike, ///< Regional heat wave (clock drift) over [start, end].
+  };
+
+  Type type = Type::kNodeFailure;
+  Time start = 0.0;
+  Time end = 0.0;          ///< Ignored for instantaneous faults.
+  NodeId node = kInvalidNode;
+  NodeId peer = kInvalidNode;  ///< Second endpoint for link faults.
+  Position center;         ///< For regional faults.
+  double radius_m = 0.0;
+  double magnitude = 0.0;  ///< dB, multiplier, or pkts/s depending on type.
+};
+
+/// Ground-truth record of an applied fault, used to score diagnoses.
+struct InjectedFault {
+  FaultCommand command;
+  metrics::HazardEvent hazard;          ///< The hazard class it realizes.
+  std::vector<NodeId> affected_nodes;   ///< Nodes inside the blast radius.
+};
+
+/// Maps a fault type to the hazard-event class it manifests as.
+[[nodiscard]] metrics::HazardEvent hazard_of(FaultCommand::Type type) noexcept;
+
+}  // namespace vn2::wsn

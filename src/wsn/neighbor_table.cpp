@@ -1,0 +1,138 @@
+#include "wsn/neighbor_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vn2::wsn {
+
+double NeighborEntry::link_etx() const noexcept {
+  const double out = prr_out_known ? prr_out : prr_in;  // symmetric default
+  const double product = std::max(prr_in * out, 1e-3);
+  return std::clamp(1.0 / product, 1.0, NeighborTable::kEtxCap);
+}
+
+double NeighborEntry::route_etx() const noexcept {
+  return advertised_path_etx + link_etx();
+}
+
+bool NeighborTable::on_beacon(NodeId from, double rssi_dbm,
+                              std::uint32_t beacon_seq,
+                              double advertised_path_etx, Time now,
+                              NodeId current_parent) {
+  if (NeighborEntry* entry = find(from)) {
+    entry->rssi_dbm += kRssiAlpha * (rssi_dbm - entry->rssi_dbm);
+    // Age a stale outbound estimate toward the beacon-fed inbound one, so a
+    // link written off during a congestion episode can be rediscovered.
+    if (entry->prr_out_known &&
+        now - entry->last_unicast > kPrrOutStaleAfter) {
+      entry->prr_out += kStaleBlendAlpha * (entry->prr_in - entry->prr_out);
+    }
+    // Sequence gap tells us how many beacons we missed since last reception.
+    const std::uint32_t gap =
+        beacon_seq > entry->last_beacon_seq
+            ? beacon_seq - entry->last_beacon_seq - 1
+            : 0;  // Reboot / wrap: treat as contiguous.
+    for (std::uint32_t i = 0; i < std::min(gap, 10u); ++i)
+      entry->prr_in += kPrrAlpha * (0.0 - entry->prr_in);
+    entry->prr_in += kPrrAlpha * (1.0 - entry->prr_in);
+    entry->last_beacon_seq = beacon_seq;
+    entry->advertised_path_etx = advertised_path_etx;
+    entry->last_heard = now;
+    return true;
+  }
+
+  // New neighbor: free slot first.
+  for (NeighborEntry& slot : slots_) {
+    if (!slot.occupied()) {
+      slot = NeighborEntry{};
+      slot.id = from;
+      slot.rssi_dbm = rssi_dbm;
+      slot.prr_in = 0.5;  // Optimistic prior, refined by later beacons.
+      slot.last_beacon_seq = beacon_seq;
+      slot.advertised_path_etx = advertised_path_etx;
+      slot.last_heard = now;
+      return true;
+    }
+  }
+
+  // Table full: admission by route quality. Estimate the newcomer's route
+  // cost with the fresh-entry link prior and evict the worst-route entry
+  // (never the current parent) if the newcomer improves on it by a margin.
+  NeighborEntry candidate;
+  candidate.id = from;
+  candidate.rssi_dbm = rssi_dbm;
+  candidate.prr_in = 0.5;
+  candidate.last_beacon_seq = beacon_seq;
+  candidate.advertised_path_etx = advertised_path_etx;
+  candidate.last_heard = now;
+
+  NeighborEntry* worst = nullptr;
+  for (NeighborEntry& slot : slots_) {
+    if (slot.id == current_parent) continue;
+    if (!worst || slot.route_etx() > worst->route_etx()) worst = &slot;
+  }
+  if (worst && candidate.route_etx() + 1.0 < worst->route_etx()) {
+    *worst = candidate;
+    return true;
+  }
+  return false;
+}
+
+void NeighborTable::on_unicast_result(NodeId to, bool ack, Time now) {
+  if (NeighborEntry* entry = find(to)) {
+    entry->prr_out_known = true;
+    entry->prr_out += kPrrAlpha * ((ack ? 1.0 : 0.0) - entry->prr_out);
+    entry->last_unicast = now;
+  }
+}
+
+void NeighborTable::evict(NodeId id) {
+  if (NeighborEntry* entry = find(id)) *entry = NeighborEntry{};
+}
+
+void NeighborTable::clear() {
+  for (NeighborEntry& slot : slots_) slot = NeighborEntry{};
+}
+
+std::optional<NodeId> NeighborTable::best_parent(NodeId exclude) const {
+  const NeighborEntry* best = nullptr;
+  for (const NeighborEntry& slot : slots_) {
+    if (!slot.occupied() || slot.id == exclude) continue;
+    if (!best || slot.route_etx() < best->route_etx()) best = &slot;
+  }
+  if (!best || best->route_etx() >= kEtxCap) return std::nullopt;
+  return best->id;
+}
+
+const NeighborEntry* NeighborTable::find(NodeId id) const {
+  for (const NeighborEntry& slot : slots_)
+    if (slot.id == id) return &slot;
+  return nullptr;
+}
+
+NeighborEntry* NeighborTable::find(NodeId id) {
+  for (NeighborEntry& slot : slots_)
+    if (slot.id == id) return &slot;
+  return nullptr;
+}
+
+std::size_t NeighborTable::occupancy() const noexcept {
+  std::size_t count = 0;
+  for (const NeighborEntry& slot : slots_)
+    if (slot.occupied()) ++count;
+  return count;
+}
+
+std::size_t NeighborTable::expire(Time now, Time timeout) {
+  std::size_t evicted = 0;
+  for (NeighborEntry& slot : slots_) {
+    if (slot.occupied() && now - slot.last_heard > timeout) {
+      slot = NeighborEntry{};
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace vn2::wsn

@@ -1,0 +1,98 @@
+// CTP-style neighbor (routing) table with kMaxNeighbors slot-stable entries.
+//
+// Slots are stable: once a neighbor occupies slot i it stays there until
+// evicted, so the C2 metrics Neighbor_RSSI_i / Neighbor_ETX_i track the same
+// physical neighbor across reports — which is what makes their *variation*
+// meaningful to the analysis.
+//
+// Inbound link quality is estimated from beacon sequence-number gaps (a gap
+// of g means g missed beacons), outbound quality from the data-plane ACK
+// ratio; link ETX combines both, defaulting to the symmetric assumption
+// until data has flowed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "metrics/schema.hpp"
+#include "wsn/types.hpp"
+
+namespace vn2::wsn {
+
+struct NeighborEntry {
+  NodeId id = kInvalidNode;
+  double rssi_dbm = 0.0;          ///< EWMA of beacon RSSI samples.
+  double prr_in = 0.5;            ///< EWMA inbound beacon delivery ratio.
+  double prr_out = 0.5;           ///< EWMA outbound ACK success ratio.
+  bool prr_out_known = false;     ///< False until any unicast was attempted.
+  double advertised_path_etx = 0.0;  ///< Neighbor's route cost to the sink.
+  std::uint32_t last_beacon_seq = 0;
+  Time last_heard = 0.0;
+  Time last_unicast = 0.0;        ///< Last outbound data-plane sample.
+
+  [[nodiscard]] bool occupied() const noexcept { return id != kInvalidNode; }
+
+  /// Bidirectional link ETX = 1 / (prr_in · prr_out), clamped to [1, cap].
+  [[nodiscard]] double link_etx() const noexcept;
+
+  /// Advertised path ETX plus our link to the neighbor.
+  [[nodiscard]] double route_etx() const noexcept;
+};
+
+class NeighborTable {
+ public:
+  static constexpr std::size_t kSlots = metrics::kMaxNeighbors;
+  static constexpr double kEtxCap = 30.0;
+
+  /// Processes a beacon from `from`. Inserts the neighbor if a slot is free
+  /// or a worse entry can make room; updates RSSI, inbound PRR (via beacon
+  /// seq-gap), and the advertised path ETX. Returns true if the beacon was
+  /// tabled (false if the table is full of better entries).
+  ///
+  /// When the table is full, admission is decided on ROUTE quality
+  /// (advertised path ETX + estimated link ETX), not RSSI: a strong-signal
+  /// neighbor with no route must never crowd out the path to the sink. The
+  /// current parent (`current_parent`) is never evicted by admission.
+  bool on_beacon(NodeId from, double rssi_dbm, std::uint32_t beacon_seq,
+                 double advertised_path_etx, Time now,
+                 NodeId current_parent = kInvalidNode);
+
+  /// Records a unicast attempt to `to` (ack == delivery confirmed).
+  void on_unicast_result(NodeId to, bool ack, Time now = 0.0);
+
+  /// Removes a neighbor (e.g. declared dead after repeated NOACKs).
+  void evict(NodeId id);
+  void clear();
+
+  /// Best next hop: the entry minimizing route_etx(). `exclude` lets the
+  /// caller skip a just-failed parent.
+  [[nodiscard]] std::optional<NodeId> best_parent(
+      NodeId exclude = kInvalidNode) const;
+
+  [[nodiscard]] const NeighborEntry* find(NodeId id) const;
+  [[nodiscard]] NeighborEntry* find(NodeId id);
+  [[nodiscard]] const std::array<NeighborEntry, kSlots>& slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::size_t occupancy() const noexcept;
+
+  /// Drops entries not heard from within `timeout` of `now`. Returns the
+  /// number of entries evicted.
+  std::size_t expire(Time now, Time timeout);
+
+ private:
+  std::array<NeighborEntry, kSlots> slots_{};
+
+  static constexpr double kRssiAlpha = 0.3;  ///< EWMA weights.
+  static constexpr double kPrrAlpha = 0.2;
+  /// Outbound estimates older than this are stale: each beacon blends them
+  /// back toward the (fresh, beacon-fed) inbound estimate. Without aging, a
+  /// congestion episode can pin prr_out near zero forever — the node stops
+  /// routing through the neighbor, so no new data-plane samples ever arrive
+  /// to correct the estimate, and the link is lost permanently.
+  static constexpr Time kPrrOutStaleAfter = 600.0;
+  static constexpr double kStaleBlendAlpha = 0.2;
+};
+
+}  // namespace vn2::wsn

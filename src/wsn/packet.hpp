@@ -1,0 +1,43 @@
+// Data-plane packet model. A report packet carries one metric block
+// (C1 sensor/routing, C2 neighbor table, or C3 counters) from its origin
+// toward the sink over the collection tree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/schema.hpp"
+#include "wsn/types.hpp"
+
+namespace vn2::wsn {
+
+struct DataPacket {
+  NodeId origin = kInvalidNode;
+  std::uint32_t origin_seq = 0;      ///< Per-origin sequence number.
+  std::uint64_t epoch = 0;           ///< Reporting epoch at the origin.
+  metrics::PacketType type = metrics::PacketType::kC1;
+  /// Values of the block's metrics, in schema column order for that block.
+  std::vector<double> values;
+  /// Path ETX of the current holder when it last transmitted the packet —
+  /// carried in the header for datapath loop detection (CTP-style).
+  double sender_path_etx = 0.0;
+  std::uint8_t hops = 0;
+  Time created = 0.0;
+};
+
+/// Column range [first, last) of a block within the 43-metric schema.
+struct BlockRange {
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] constexpr BlockRange block_range(metrics::PacketType type) noexcept {
+  switch (type) {
+    case metrics::PacketType::kC1: return {0, 6};
+    case metrics::PacketType::kC2: return {6, 20};
+    case metrics::PacketType::kC3: return {26, 17};
+  }
+  return {0, 0};
+}
+
+}  // namespace vn2::wsn

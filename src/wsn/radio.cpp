@@ -1,0 +1,79 @@
+#include "wsn/radio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vn2::wsn {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+RadioModel::RadioModel(RadioParams params, const Environment* environment,
+                       std::uint64_t seed)
+    : params_(params), environment_(environment), seed_(seed) {}
+
+std::uint64_t RadioModel::link_key(NodeId a, NodeId b) noexcept {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 16) | hi;
+}
+
+double RadioModel::shadowing_db(NodeId a, NodeId b) const {
+  const std::uint64_t h = mix(seed_ ^ link_key(a, b));
+  // Irwin–Hall approximation of a standard Gaussian.
+  const double u = to_unit(h) + to_unit(mix(h)) + to_unit(mix(mix(h)));
+  return params_.shadowing_stddev_db * (u - 1.5) * 2.0;
+}
+
+double RadioModel::degradation_db(NodeId a, NodeId b, Time t) const {
+  const auto it = degradations_.find(link_key(a, b));
+  if (it == degradations_.end()) return 0.0;
+  double total = 0.0;
+  for (const Degradation& d : it->second)
+    if (t >= d.start && t <= d.end) total += d.loss_db;
+  return total;
+}
+
+double RadioModel::rssi_dbm(NodeId from, const Position& from_pos, NodeId to,
+                            const Position& to_pos) const {
+  const double d = std::max(distance(from_pos, to_pos), 1.0);
+  const double path_loss = params_.path_loss_at_1m_db +
+                           10.0 * params_.path_loss_exponent * std::log10(d);
+  return params_.tx_power_dbm - path_loss + shadowing_db(from, to);
+}
+
+bool RadioModel::in_range(NodeId from, const Position& from_pos, NodeId to,
+                          const Position& to_pos) const {
+  return rssi_dbm(from, from_pos, to, to_pos) >= params_.sensitivity_dbm;
+}
+
+double RadioModel::prr(NodeId from, const Position& from_pos, NodeId to,
+                       const Position& to_pos, Time t) const {
+  const double rssi = rssi_dbm(from, from_pos, to, to_pos) -
+                      degradation_db(from, to, t);
+  const double noise = environment_->noise_floor_dbm(to_pos, t);
+  const double snr = rssi - noise;
+  const double x = params_.prr_steepness * (snr - params_.prr_midpoint_snr_db);
+  return std::clamp(1.0 / (1.0 + std::exp(-x)), 0.0, 1.0);
+}
+
+void RadioModel::degrade_link(NodeId a, NodeId b, double loss_db, Time start,
+                              Time end) {
+  degradations_[link_key(a, b)].push_back({loss_db, start, end});
+}
+
+void RadioModel::clear_degradations() { degradations_.clear(); }
+
+}  // namespace vn2::wsn

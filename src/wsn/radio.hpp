@@ -1,0 +1,73 @@
+// Radio propagation model: log-distance path loss with per-link lognormal
+// shadowing, an SNR→PRR sigmoid calibrated to CC2420-class radios, and
+// link-level degradation hooks for fault injection.
+//
+// Shadowing is a deterministic function of the (unordered) link endpoints so
+// the same pair always sees the same fade — this is what makes links
+// persistently "good" or "bad" the way real deployments behave.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "wsn/environment.hpp"
+#include "wsn/types.hpp"
+
+namespace vn2::wsn {
+
+struct RadioParams {
+  double tx_power_dbm = -7.0;        ///< CC2420 power level 2 ≈ -7 dBm.
+  double path_loss_at_1m_db = 40.0;  ///< 2.4 GHz reference loss.
+  double path_loss_exponent = 3.0;   ///< Urban outdoor.
+  double shadowing_stddev_db = 4.0;
+  /// SNR (dB) at which PRR = 50%.
+  double prr_midpoint_snr_db = 5.0;
+  /// Sigmoid steepness: PRR = 1 / (1 + exp(-k · (snr − midpoint))).
+  double prr_steepness = 0.9;
+  /// RSSI below which a node is not considered a neighbor candidate.
+  double sensitivity_dbm = -94.0;
+};
+
+class RadioModel {
+ public:
+  RadioModel(RadioParams params, const Environment* environment,
+             std::uint64_t seed);
+
+  /// Received signal strength from `from` at `to` in dBm (excluding noise).
+  [[nodiscard]] double rssi_dbm(NodeId from, const Position& from_pos,
+                                NodeId to, const Position& to_pos) const;
+
+  /// Packet reception ratio for a single transmission attempt at time t.
+  /// Includes the noise floor at the receiver and any link degradation.
+  [[nodiscard]] double prr(NodeId from, const Position& from_pos, NodeId to,
+                           const Position& to_pos, Time t) const;
+
+  /// True if the link is usable at all (RSSI above sensitivity).
+  [[nodiscard]] bool in_range(NodeId from, const Position& from_pos, NodeId to,
+                              const Position& to_pos) const;
+
+  /// Adds `loss_db` of extra attenuation on the (unordered) link for
+  /// [start, end] — the fault injector's link-degradation hook.
+  void degrade_link(NodeId a, NodeId b, double loss_db, Time start, Time end);
+  void clear_degradations();
+
+  [[nodiscard]] const RadioParams& params() const noexcept { return params_; }
+
+ private:
+  struct Degradation {
+    double loss_db;
+    Time start;
+    Time end;
+  };
+
+  RadioParams params_;
+  const Environment* environment_;
+  std::uint64_t seed_;
+  std::unordered_map<std::uint64_t, std::vector<Degradation>> degradations_;
+
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b) noexcept;
+  [[nodiscard]] double shadowing_db(NodeId a, NodeId b) const;
+  [[nodiscard]] double degradation_db(NodeId a, NodeId b, Time t) const;
+};
+
+}  // namespace vn2::wsn

@@ -1,0 +1,32 @@
+// Fundamental identifiers and geometry for the WSN simulator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace vn2::wsn {
+
+/// Node identifier. The sink is always node 0.
+using NodeId = std::uint16_t;
+inline constexpr NodeId kSinkId = 0;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// 2-D position in meters.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+inline double distance(const Position& a, const Position& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace vn2::wsn

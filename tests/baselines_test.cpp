@@ -1,0 +1,177 @@
+#include "baselines/agnostic.hpp"
+#include "baselines/pca_decomposer.hpp"
+#include "baselines/sympathy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random.hpp"
+#include "test_helpers.hpp"
+
+namespace vn2::baselines {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using metrics::HazardEvent;
+using metrics::MetricId;
+
+Vector state_with(const std::vector<std::pair<MetricId, double>>& spikes) {
+  Vector state(metrics::kMetricCount, 0.0);
+  for (const auto& [id, value] : spikes)
+    state[metrics::index_of(id)] = value;
+  return state;
+}
+
+TEST(Sympathy, NormalStateYieldsNoDiagnosis) {
+  SympathyDiagnoser diagnoser;
+  EXPECT_FALSE(diagnoser.diagnose(Vector(metrics::kMetricCount, 0.0))
+                   .has_value());
+}
+
+TEST(Sympathy, RejectsWrongSize) {
+  SympathyDiagnoser diagnoser;
+  EXPECT_THROW(diagnoser.diagnose(Vector(5)), std::invalid_argument);
+  EXPECT_THROW(SympathyDiagnoser::fit(Matrix(2, 5)), std::invalid_argument);
+}
+
+TEST(Sympathy, SingleRuleDiagnoses) {
+  SympathyDiagnoser diagnoser;
+  EXPECT_EQ(diagnoser.diagnose(state_with({{MetricId::kVoltage, -0.2}})),
+            HazardEvent::kNodeLowVoltage);
+  EXPECT_EQ(diagnoser.diagnose(state_with({{MetricId::kLoopCounter, 3.0}})),
+            HazardEvent::kRoutingLoop);
+  EXPECT_EQ(
+      diagnoser.diagnose(state_with({{MetricId::kMacBackoffCounter, 50.0}})),
+      HazardEvent::kContention);
+  EXPECT_EQ(
+      diagnoser.diagnose(state_with({{MetricId::kParentChangeCounter, 5.0}})),
+      HazardEvent::kFrequentParentChange);
+}
+
+TEST(Sympathy, FirstRuleWinsEvenWithMultipleCauses) {
+  // The structural limitation the paper criticizes: a state with BOTH a
+  // voltage collapse and a routing loop reports only the voltage issue.
+  SympathyDiagnoser diagnoser;
+  const auto verdict = diagnoser.diagnose(state_with(
+      {{MetricId::kVoltage, -0.5}, {MetricId::kLoopCounter, 10.0}}));
+  EXPECT_EQ(verdict, HazardEvent::kNodeLowVoltage);
+}
+
+TEST(Sympathy, FitSetsThresholdsAtQuantiles) {
+  // Training data where loop diffs are usually ≤ 1; fitted threshold must
+  // sit near the top of that range so a diff of 5 fires but 0.5 does not.
+  auto synthetic =
+      vn2::testing::make_synthetic(vn2::testing::standard_causes(), 300, 3);
+  SympathyDiagnoser diagnoser = SympathyDiagnoser::fit(synthetic.states);
+  EXPECT_GT(diagnoser.thresholds().noack, 0.0);
+  const auto verdict = diagnoser.diagnose(
+      state_with({{MetricId::kLoopCounter, 50.0}}));
+  EXPECT_EQ(verdict, HazardEvent::kRoutingLoop);
+}
+
+TEST(Agnostic, RejectsTooLittleData) {
+  AgnosticOptions options;
+  options.window = 16;
+  EXPECT_THROW(AgnosticDetector::fit(Matrix(20, 5), options),
+               std::invalid_argument);
+}
+
+TEST(Agnostic, CorrelationMatrixBasics) {
+  // Two perfectly correlated columns, one anti-correlated.
+  Matrix states(50, 3);
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double x = noise(rng);
+    states(i, 0) = x;
+    states(i, 1) = 2.0 * x;
+    states(i, 2) = -x;
+  }
+  Matrix corr = correlation_matrix(states, 0, 50);
+  EXPECT_NEAR(corr(0, 1), 1.0, 1e-9);
+  EXPECT_NEAR(corr(0, 2), -1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(corr(1, 1), 1.0);
+  EXPECT_THROW(correlation_matrix(states, 45, 10), std::invalid_argument);
+}
+
+TEST(Agnostic, DetectsCorrelationBreak) {
+  // Training: metrics 0 and 1 move together. Test: they decouple.
+  const std::size_t n = 256;
+  Matrix train(n, 4);
+  std::mt19937_64 rng(9);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = noise(rng);
+    train(i, 0) = x;
+    train(i, 1) = x + 0.05 * noise(rng);
+    train(i, 2) = noise(rng);
+    train(i, 3) = noise(rng);
+  }
+  AgnosticOptions options;
+  options.window = 32;
+  options.z_threshold = 2.0;
+  AgnosticDetector detector = AgnosticDetector::fit(train, options);
+  EXPECT_GT(detector.edge_count(), 0u);
+
+  // Healthy continuation: no alarms expected (same generator).
+  Matrix healthy(64, 4);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double x = noise(rng);
+    healthy(i, 0) = x;
+    healthy(i, 1) = x + 0.05 * noise(rng);
+    healthy(i, 2) = noise(rng);
+    healthy(i, 3) = noise(rng);
+  }
+  // Broken: the correlated pair decouples entirely.
+  Matrix broken(64, 4);
+  for (std::size_t i = 0; i < 64; ++i) {
+    broken(i, 0) = noise(rng);
+    broken(i, 1) = noise(rng);
+    broken(i, 2) = noise(rng);
+    broken(i, 3) = noise(rng);
+  }
+  auto healthy_verdicts = detector.detect(healthy);
+  auto broken_verdicts = detector.detect(broken);
+  std::size_t healthy_alarms = 0, broken_alarms = 0;
+  for (const auto& v : healthy_verdicts) healthy_alarms += v.abnormal;
+  for (const auto& v : broken_verdicts) broken_alarms += v.abnormal;
+  EXPECT_GT(broken_alarms, healthy_alarms);
+  EXPECT_GT(broken_alarms, 0u);
+}
+
+TEST(Agnostic, VerdictsCoverFullWindows) {
+  Matrix train = linalg::random_uniform_matrix(128, 4, 3, -1.0, 1.0);
+  AgnosticOptions options;
+  options.window = 16;
+  AgnosticDetector detector = AgnosticDetector::fit(train, options);
+  auto verdicts = detector.detect(linalg::random_uniform_matrix(50, 4, 4));
+  EXPECT_EQ(verdicts.size(), 3u);  // 50 / 16 full windows.
+  EXPECT_EQ(verdicts[2].window_start, 32u);
+}
+
+TEST(PcaBaseline, ReconstructionBeatsOrMatchesNmfAtEqualRank) {
+  auto synthetic =
+      vn2::testing::make_synthetic(vn2::testing::standard_causes(), 200, 8);
+  // PCA works on the raw (signed) exception states.
+  PcaDecomposition pca_result = pca_decompose(synthetic.states, 5);
+  EXPECT_GT(pca_result.approximation_accuracy, 0.0);
+  EXPECT_GT(pca_result.negative_fraction, 0.0);  // Sign-indefinite factors.
+}
+
+TEST(PcaBaseline, FactorStats) {
+  // One perfectly concentrated non-negative row.
+  Matrix sparse(1, 10, 0.0);
+  sparse(0, 3) = 5.0;
+  FactorStats stats = factor_stats(sparse);
+  EXPECT_DOUBLE_EQ(stats.component_concentration, 1.0);
+  EXPECT_DOUBLE_EQ(stats.negative_fraction, 0.0);
+
+  Matrix dense(1, 10, -1.0);
+  FactorStats dense_stats = factor_stats(dense);
+  EXPECT_DOUBLE_EQ(dense_stats.negative_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(dense_stats.component_concentration, 0.5);
+  EXPECT_DOUBLE_EQ(factor_stats(Matrix{}).component_concentration, 0.0);
+}
+
+}  // namespace
+}  // namespace vn2::baselines

@@ -1,0 +1,29 @@
+#!/bin/sh
+# End-to-end smoke test of the vn2 CLI: simulate → train → inspect →
+# diagnose → incidents → silent → stats, all against real files.
+set -e
+VN2="$1"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$VN2" simulate --scenario tiny --nodes 12 --days 0.05 --seed 9 \
+    --out "$WORK/trace.csv" | grep -q "snapshots"
+"$VN2" train --trace "$WORK/trace.csv" --rank 5 --out "$WORK/model.vn2" \
+    | grep -q "model ->"
+"$VN2" inspect --model "$WORK/model.vn2" | grep -q "psi\[ 0\]"
+"$VN2" diagnose --model "$WORK/model.vn2" --trace "$WORK/trace.csv" --top 3 \
+    | grep -q "exceptions"
+"$VN2" incidents --model "$WORK/model.vn2" --trace "$WORK/trace.csv" \
+    | grep -q "incidents from"
+"$VN2" silent --trace "$WORK/trace.csv" | grep -q "look silent"
+"$VN2" stats --trace "$WORK/trace.csv" | grep -q "nodes reporting"
+# Error paths exit non-zero.
+if "$VN2" train --trace /nonexistent.csv --out "$WORK/x" 2>/dev/null; then
+  echo "expected failure on missing trace" >&2
+  exit 1
+fi
+if "$VN2" bogus-command 2>/dev/null; then
+  echo "expected usage error" >&2
+  exit 1
+fi
+echo "cli smoke OK"

@@ -1,0 +1,110 @@
+#include "wsn/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vn2::wsn {
+namespace {
+
+constexpr double kDay = 86400.0;
+
+TEST(Environment, TemperatureIsDiurnal) {
+  Environment env;
+  const Position p{10.0, 10.0};
+  // Default start-of-day is 08:00; afternoon (t ≈ 6h → 14:00) should be
+  // warmer than pre-dawn (t ≈ 20h → 04:00).
+  const double afternoon = env.temperature_c(p, 6.0 * 3600.0);
+  const double predawn = env.temperature_c(p, 20.0 * 3600.0);
+  EXPECT_GT(afternoon, predawn);
+  // And roughly periodic day to day.
+  EXPECT_NEAR(env.temperature_c(p, 1000.0), env.temperature_c(p, 1000.0 + kDay),
+              1e-9);
+}
+
+TEST(Environment, HumidityOpposesTemperature) {
+  Environment env;
+  const Position p{0.0, 0.0};
+  const double t_warm = 6.0 * 3600.0;   // Afternoon.
+  const double t_cool = 20.0 * 3600.0;  // Pre-dawn.
+  EXPECT_LT(env.humidity_pct(p, t_warm), env.humidity_pct(p, t_cool));
+  for (double t = 0; t < kDay; t += 3600.0) {
+    const double h = env.humidity_pct(p, t);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 100.0);
+  }
+}
+
+TEST(Environment, LightZeroAtNightPositiveAtNoon) {
+  Environment env;
+  const Position p{0.0, 0.0};
+  // Start of day 08:00 → t = 4h is noon; t = 16h is midnight.
+  EXPECT_GT(env.light_lux(p, 4.0 * 3600.0), 100.0);
+  EXPECT_DOUBLE_EQ(env.light_lux(p, 16.0 * 3600.0), 0.0);
+}
+
+TEST(Environment, NoiseFloorBaseline) {
+  Environment env;
+  EXPECT_DOUBLE_EQ(env.noise_floor_dbm({0, 0}, 100.0), -98.0);
+}
+
+TEST(Environment, NoiseDisturbanceAppliesInWindowAndRegion) {
+  Environment env;
+  Disturbance d;
+  d.kind = Disturbance::Kind::kNoiseRise;
+  d.center = {50.0, 50.0};
+  d.radius_m = 20.0;
+  d.start = 100.0;
+  d.end = 200.0;
+  d.magnitude = 10.0;
+  env.add_disturbance(d);
+
+  // Epicenter, inside window: full magnitude.
+  EXPECT_NEAR(env.noise_floor_dbm({50, 50}, 150.0), -88.0, 1e-9);
+  // Halfway out: linear falloff.
+  EXPECT_NEAR(env.noise_floor_dbm({60, 50}, 150.0), -93.0, 1e-9);
+  // Outside radius.
+  EXPECT_DOUBLE_EQ(env.noise_floor_dbm({80, 50}, 150.0), -98.0);
+  // Outside window.
+  EXPECT_DOUBLE_EQ(env.noise_floor_dbm({50, 50}, 250.0), -98.0);
+}
+
+TEST(Environment, TemperatureSpikeDisturbance) {
+  Environment env;
+  Disturbance d;
+  d.kind = Disturbance::Kind::kTemperatureSpike;
+  d.center = {0.0, 0.0};
+  d.radius_m = 10.0;
+  d.start = 0.0;
+  d.end = 1000.0;
+  d.magnitude = 20.0;
+  env.add_disturbance(d);
+  const double with = env.temperature_c({0, 0}, 500.0);
+  const double without = env.temperature_c({0, 0}, 500.0 + 2000.0);
+  // Same clock phase would be needed for exact comparison; just check the
+  // spike pushes temperature well above the diurnal envelope.
+  EXPECT_GT(with, without);
+  EXPECT_GT(with, env.temperature_c({100, 100}, 500.0) + 10.0);
+}
+
+TEST(Environment, SensorJitterDeterministicAndBounded) {
+  Environment env;
+  const double a = env.sensor_jitter(3, 1, 17);
+  const double b = env.sensor_jitter(3, 1, 17);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NE(a, env.sensor_jitter(4, 1, 17));
+  for (NodeId node = 0; node < 50; ++node) {
+    const double j = env.sensor_jitter(node, 2, node);
+    EXPECT_GT(j, 0.0);
+    EXPECT_LT(j, 2.0);
+  }
+}
+
+TEST(Environment, DifferentSeedsDifferentJitter) {
+  Environment a({}, 1);
+  Environment b({}, 2);
+  EXPECT_NE(a.sensor_jitter(1, 1, 1), b.sensor_jitter(1, 1, 1));
+}
+
+}  // namespace
+}  // namespace vn2::wsn

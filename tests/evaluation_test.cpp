@@ -1,0 +1,152 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vn2::core {
+namespace {
+
+using metrics::HazardEvent;
+
+wsn::InjectedFault make_fault(HazardEvent hazard, wsn::Time start,
+                              wsn::Time end = 0.0) {
+  wsn::InjectedFault fault;
+  fault.hazard = hazard;
+  fault.command.start = start;
+  fault.command.end = end;
+  fault.affected_nodes = {1};
+  return fault;
+}
+
+HazardPrediction make_prediction(HazardEvent hazard, wsn::Time time) {
+  return {time, 1, hazard, 1.0};
+}
+
+TEST(Evaluate, PerfectDetection) {
+  std::vector<wsn::InjectedFault> truth = {
+      make_fault(HazardEvent::kRoutingLoop, 1000.0, 2000.0)};
+  std::vector<HazardPrediction> predictions = {
+      make_prediction(HazardEvent::kRoutingLoop, 1500.0)};
+  EvalReport report = evaluate(predictions, truth);
+  EXPECT_DOUBLE_EQ(report.macro_recall, 1.0);
+  EXPECT_DOUBLE_EQ(report.macro_precision, 1.0);
+  EXPECT_EQ(report.per_hazard[HazardEvent::kRoutingLoop].detected, 1u);
+}
+
+TEST(Evaluate, MissedFault) {
+  std::vector<wsn::InjectedFault> truth = {
+      make_fault(HazardEvent::kContention, 1000.0, 2000.0)};
+  EvalReport report = evaluate({}, truth);
+  EXPECT_DOUBLE_EQ(report.macro_recall, 0.0);
+  EXPECT_EQ(report.per_hazard[HazardEvent::kContention].injected, 1u);
+  EXPECT_EQ(report.per_hazard[HazardEvent::kContention].detected, 0u);
+}
+
+TEST(Evaluate, WrongHazardDoesNotCount) {
+  std::vector<wsn::InjectedFault> truth = {
+      make_fault(HazardEvent::kRoutingLoop, 1000.0, 2000.0)};
+  std::vector<HazardPrediction> predictions = {
+      make_prediction(HazardEvent::kContention, 1500.0)};
+  EvalReport report = evaluate(predictions, truth);
+  EXPECT_DOUBLE_EQ(report.macro_recall, 0.0);
+  // The contention prediction matches nothing → zero precision.
+  EXPECT_DOUBLE_EQ(report.macro_precision, 0.0);
+}
+
+TEST(Evaluate, SlackExtendsWindows) {
+  std::vector<wsn::InjectedFault> truth = {
+      make_fault(HazardEvent::kRoutingLoop, 1000.0, 2000.0)};
+  std::vector<HazardPrediction> predictions = {
+      make_prediction(HazardEvent::kRoutingLoop, 2500.0)};
+  EvalOptions tight;
+  tight.window_slack = 100.0;
+  EXPECT_DOUBLE_EQ(evaluate(predictions, truth, tight).macro_recall, 0.0);
+  EvalOptions loose;
+  loose.window_slack = 1000.0;
+  EXPECT_DOUBLE_EQ(evaluate(predictions, truth, loose).macro_recall, 1.0);
+}
+
+TEST(Evaluate, InstantFaultGetsTailRoom) {
+  // Node failures are instantaneous commands (end == 0) but manifest over
+  // the following epochs.
+  std::vector<wsn::InjectedFault> truth = {
+      make_fault(HazardEvent::kNodeFailure, 1000.0)};
+  std::vector<HazardPrediction> predictions = {
+      make_prediction(HazardEvent::kNodeFailure, 1000.0 + 1800.0)};
+  EvalOptions options;
+  options.window_slack = 1200.0;
+  EXPECT_DOUBLE_EQ(evaluate(predictions, truth, options).macro_recall, 1.0);
+}
+
+TEST(Evaluate, MacroAveragesAcrossClasses) {
+  std::vector<wsn::InjectedFault> truth = {
+      make_fault(HazardEvent::kRoutingLoop, 1000.0, 2000.0),
+      make_fault(HazardEvent::kContention, 5000.0, 6000.0)};
+  // Loop detected; contention missed; plus one bogus extra loop prediction
+  // far outside any window.
+  std::vector<HazardPrediction> predictions = {
+      make_prediction(HazardEvent::kRoutingLoop, 1500.0),
+      make_prediction(HazardEvent::kRoutingLoop, 50000.0)};
+  EvalReport report = evaluate(predictions, truth);
+  EXPECT_DOUBLE_EQ(report.macro_recall, 0.5);   // (1 + 0) / 2.
+  EXPECT_DOUBLE_EQ(report.macro_precision, 0.5);  // Loop: 1 of 2 matched.
+}
+
+TEST(PredictHazards, RequiresMatchingSizes) {
+  std::vector<trace::StateVector> states(2);
+  std::vector<Diagnosis> diagnoses(1);
+  EXPECT_THROW(predict_hazards(states, diagnoses, {}),
+               std::invalid_argument);
+}
+
+TEST(PredictHazards, FiltersNormalStatesAndWeakCauses) {
+  std::vector<trace::StateVector> states(3);
+  states[0].time = 10.0;
+  states[1].time = 20.0;
+  states[2].time = 30.0;
+
+  std::vector<RootCauseInterpretation> interps(2);
+  interps[0].row = 0;
+  interps[0].labels = {{metrics::HazardEvent::kRoutingLoop, 0.9}};
+  interps[1].row = 1;
+  interps[1].labels = {{metrics::HazardEvent::kContention, 0.8}};
+
+  std::vector<Diagnosis> diagnoses(3);
+  // State 0: exception, strong row 0 + weak row 1.
+  diagnoses[0].is_exception = true;
+  diagnoses[0].ranked = {{0, 10.0}, {1, 1.0}};
+  // State 1: not an exception → ignored.
+  diagnoses[1].is_exception = false;
+  diagnoses[1].ranked = {{0, 10.0}};
+  // State 2: exception, both rows strong.
+  diagnoses[2].is_exception = true;
+  diagnoses[2].ranked = {{1, 5.0}, {0, 4.0}};
+
+  EvalOptions options;
+  options.strength_fraction = 0.5;
+  auto predictions = predict_hazards(states, diagnoses, interps, options);
+  ASSERT_EQ(predictions.size(), 3u);
+  EXPECT_EQ(predictions[0].hazard, metrics::HazardEvent::kRoutingLoop);
+  EXPECT_DOUBLE_EQ(predictions[0].time, 10.0);
+  EXPECT_EQ(predictions[1].hazard, metrics::HazardEvent::kContention);
+  EXPECT_EQ(predictions[2].hazard, metrics::HazardEvent::kRoutingLoop);
+}
+
+TEST(PredictHazards, UnlabeledRowsAreSkipped) {
+  std::vector<trace::StateVector> states(1);
+  std::vector<RootCauseInterpretation> interps(1);  // No labels.
+  std::vector<Diagnosis> diagnoses(1);
+  diagnoses[0].is_exception = true;
+  diagnoses[0].ranked = {{0, 10.0}};
+  EXPECT_TRUE(predict_hazards(states, diagnoses, interps).empty());
+}
+
+TEST(PredictHazards, MissingInterpretationThrows) {
+  std::vector<trace::StateVector> states(1);
+  std::vector<Diagnosis> diagnoses(1);
+  diagnoses[0].is_exception = true;
+  diagnoses[0].ranked = {{5, 10.0}};  // Row 5, but no interpretations.
+  EXPECT_THROW(predict_hazards(states, diagnoses, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vn2::core

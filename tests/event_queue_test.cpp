@@ -1,0 +1,91 @@
+#include "wsn/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vn2::wsn {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.schedule(1.0, [&] { order.push_back(3); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {0.5, 1.0, 1.5, 2.0, 2.5})
+    q.schedule(t, [&fired, t] { fired.push_back(t); });
+  const std::size_t executed = q.run_until(1.5);
+  EXPECT_EQ(executed, 3u);
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 1.5);
+  q.run_all();
+  EXPECT_EQ(fired.size(), 5u);
+}
+
+TEST(EventQueue, NowAdvancesToRunUntilEvenWithoutEvents) {
+  EventQueue q;
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  q.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(5.0, [&] {
+    // Scheduling "in the past" must not rewind the clock.
+    q.schedule(1.0, [&] { times.push_back(q.now()); });
+  });
+  q.run_all();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+}
+
+TEST(EventQueue, NegativeDelayClampsToZero) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_in(-3.0, [&] { fired = true; });
+  q.run_until(0.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, StressManyEvents) {
+  EventQueue q;
+  std::size_t fired = 0;
+  for (int i = 0; i < 10000; ++i)
+    q.schedule(static_cast<double>(10000 - i), [&] { ++fired; });
+  EXPECT_EQ(q.run_all(), 10000u);
+  EXPECT_EQ(fired, 10000u);
+}
+
+}  // namespace
+}  // namespace vn2::wsn

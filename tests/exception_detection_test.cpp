@@ -1,0 +1,117 @@
+#include "core/exception_detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random.hpp"
+
+namespace vn2::core {
+namespace {
+
+using linalg::Matrix;
+
+TEST(ExceptionDetection, RejectsEmpty) {
+  EXPECT_THROW(detect_exceptions(Matrix{}), std::invalid_argument);
+}
+
+TEST(ExceptionDetection, FlagsPlantedOutlier) {
+  // 100 near-identical states plus one wild one.
+  Matrix states(101, 5, 1.0);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> jitter(-0.01, 0.01);
+  for (std::size_t i = 0; i < 100; ++i)
+    for (std::size_t j = 0; j < 5; ++j) states(i, j) = 1.0 + jitter(rng);
+  for (std::size_t j = 0; j < 5; ++j) states(100, j) = 50.0;
+
+  ExceptionDetectionOptions options;
+  options.threshold = 0.5;  // Only states within 2x of the max deviation.
+  auto result = detect_exceptions(states, options);
+  ASSERT_EQ(result.exception_rows.size(), 1u);
+  EXPECT_EQ(result.exception_rows[0], 100u);
+  EXPECT_TRUE(result.is_exception(100));
+  EXPECT_FALSE(result.is_exception(0));
+}
+
+TEST(ExceptionDetection, PaperThresholdFlagsRelativeDeviations) {
+  // With the paper's 0.01 ratio threshold, normal states stay unflagged only
+  // when their deviation from the mean is under 1% of the maximum. A single
+  // outlier among n identical states pulls the mean by outlier/n, so n must
+  // exceed ~100 for the rule to isolate the outlier — mirroring the paper's
+  // setting (hundreds of thousands of mostly-normal states).
+  Matrix states(500, 4, 0.0);
+  states(499, 0) = 100.0;
+  ExceptionDetectionOptions options;
+  options.threshold = 0.01;
+  options.standardize = false;
+  auto result = detect_exceptions(states, options);
+  ASSERT_EQ(result.exception_rows.size(), 1u);
+  EXPECT_EQ(result.exception_rows[0], 499u);
+}
+
+TEST(ExceptionDetection, StandardizationEqualizesScales) {
+  // Metric 0 varies over thousands, metric 1 over hundredths. A state that
+  // is extreme only in metric 1 must still surface when standardized.
+  Matrix states(40, 2, 0.0);
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> big(-1000.0, 1000.0);
+  std::uniform_real_distribution<double> small(-0.01, 0.01);
+  for (std::size_t i = 0; i < 40; ++i) {
+    states(i, 0) = big(rng);
+    states(i, 1) = small(rng);
+  }
+  states(39, 0) = 0.0;
+  states(39, 1) = 5.0;  // 500σ on the small metric.
+
+  ExceptionDetectionOptions standardized;
+  standardized.threshold = 0.5;
+  auto result = detect_exceptions(states, standardized);
+  EXPECT_TRUE(result.is_exception(39));
+
+  ExceptionDetectionOptions raw;
+  raw.threshold = 0.5;
+  raw.standardize = false;
+  auto raw_result = detect_exceptions(states, raw);
+  EXPECT_FALSE(raw_result.is_exception(39));  // Drowned by metric 0's scale.
+}
+
+TEST(ExceptionDetection, AllIdenticalStatesFlagNothing) {
+  Matrix states(20, 3, 7.0);
+  auto result = detect_exceptions(states);
+  EXPECT_TRUE(result.exception_rows.empty());
+  EXPECT_DOUBLE_EQ(result.max_score, 0.0);
+}
+
+TEST(ExceptionDetection, ScoresSizedToInput) {
+  Matrix states = linalg::random_uniform_matrix(17, 6, 5);
+  auto result = detect_exceptions(states);
+  EXPECT_EQ(result.scores.size(), 17u);
+  for (std::size_t i = 0; i < 17; ++i) EXPECT_GE(result.scores[i], 0.0);
+}
+
+TEST(ExceptionDetection, ExceptionMatrixSelectsRows) {
+  Matrix states(10, 3, 0.0);
+  states(4, 0) = 100.0;
+  states(7, 1) = -100.0;
+  ExceptionDetectionOptions options;
+  options.threshold = 0.5;
+  auto result = detect_exceptions(states, options);
+  Matrix exceptions = exception_matrix(states, result);
+  ASSERT_EQ(exceptions.rows(), result.exception_rows.size());
+  EXPECT_GE(exceptions.rows(), 2u);
+  // First flagged row must equal states row 4.
+  EXPECT_DOUBLE_EQ(exceptions(0, 0), 100.0);
+}
+
+TEST(ExceptionDetection, ThresholdSweepMonotone) {
+  Matrix states = linalg::random_uniform_matrix(60, 8, 21, -1.0, 1.0);
+  std::size_t previous = states.rows() + 1;
+  for (double threshold : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    ExceptionDetectionOptions options;
+    options.threshold = threshold;
+    auto result = detect_exceptions(states, options);
+    EXPECT_LE(result.exception_rows.size(), previous);
+    previous = result.exception_rows.size();
+  }
+}
+
+}  // namespace
+}  // namespace vn2::core

@@ -1,0 +1,203 @@
+#include "core/incident.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vn2::core {
+namespace {
+
+using metrics::HazardEvent;
+
+trace::StateVector make_state(wsn::NodeId node, wsn::Time time) {
+  trace::StateVector state;
+  state.node = node;
+  state.time = time;
+  return state;
+}
+
+Diagnosis make_diagnosis(bool exception,
+                         std::vector<RankedCause> ranked = {},
+                         std::size_t rank = 3) {
+  Diagnosis d;
+  d.is_exception = exception;
+  d.ranked = std::move(ranked);
+  d.weights = linalg::Vector(rank);
+  for (const RankedCause& cause : d.ranked) d.weights[cause.row] = cause.strength;
+  return d;
+}
+
+std::vector<RootCauseInterpretation> make_interps() {
+  std::vector<RootCauseInterpretation> interps(3);
+  interps[0].row = 0;
+  interps[0].labels = {{HazardEvent::kRoutingLoop, 0.9}};
+  interps[1].row = 1;
+  interps[1].labels = {{HazardEvent::kContention, 0.8}};
+  interps[2].row = 2;  // Unlabelled.
+  return interps;
+}
+
+TEST(Incidents, SizeMismatchThrows) {
+  std::vector<trace::StateVector> states(2);
+  std::vector<Diagnosis> diagnoses(1);
+  EXPECT_THROW(aggregate_incidents(states, diagnoses, {}),
+               std::invalid_argument);
+}
+
+TEST(Incidents, EmptyWhenNoExceptions) {
+  std::vector<trace::StateVector> states = {make_state(1, 10.0),
+                                            make_state(2, 20.0)};
+  std::vector<Diagnosis> diagnoses = {make_diagnosis(false),
+                                      make_diagnosis(false)};
+  EXPECT_TRUE(aggregate_incidents(states, diagnoses, make_interps()).empty());
+}
+
+TEST(Incidents, ClustersByTimeGap) {
+  // Two bursts separated by more than the merge gap.
+  std::vector<trace::StateVector> states;
+  std::vector<Diagnosis> diagnoses;
+  for (double t : {100.0, 200.0, 300.0, 5000.0, 5100.0, 5200.0}) {
+    states.push_back(make_state(1, t));
+    diagnoses.push_back(make_diagnosis(true, {{0, 5.0}}));
+  }
+  IncidentOptions options;
+  options.merge_gap = 1000.0;
+  options.min_states = 2;
+  auto incidents =
+      aggregate_incidents(states, diagnoses, make_interps(), options);
+  ASSERT_EQ(incidents.size(), 2u);
+  EXPECT_DOUBLE_EQ(incidents[0].start, 100.0);
+  EXPECT_DOUBLE_EQ(incidents[0].end, 300.0);
+  EXPECT_DOUBLE_EQ(incidents[1].start, 5000.0);
+  EXPECT_EQ(incidents[0].state_count, 3u);
+}
+
+TEST(Incidents, MinStatesFiltersNoise) {
+  std::vector<trace::StateVector> states = {make_state(1, 100.0)};
+  std::vector<Diagnosis> diagnoses = {make_diagnosis(true, {{0, 5.0}})};
+  IncidentOptions options;
+  options.min_states = 2;
+  EXPECT_TRUE(aggregate_incidents(states, diagnoses, make_interps(), options)
+                  .empty());
+  options.min_states = 1;
+  EXPECT_EQ(aggregate_incidents(states, diagnoses, make_interps(), options)
+                .size(),
+            1u);
+}
+
+TEST(Incidents, NodesAreUniqueAndSorted) {
+  std::vector<trace::StateVector> states = {
+      make_state(5, 100.0), make_state(2, 150.0), make_state(5, 200.0)};
+  std::vector<Diagnosis> diagnoses(3, make_diagnosis(true, {{0, 5.0}}));
+  IncidentOptions options;
+  options.min_states = 1;
+  auto incidents =
+      aggregate_incidents(states, diagnoses, make_interps(), options);
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].nodes, (std::vector<wsn::NodeId>{2, 5}));
+}
+
+TEST(Incidents, CausesRankedByEvidenceShare) {
+  // Row 0 (loop) gets 3x the strength of row 1 (contention).
+  std::vector<trace::StateVector> states;
+  std::vector<Diagnosis> diagnoses;
+  for (int i = 0; i < 4; ++i) {
+    states.push_back(make_state(1, 100.0 * i));
+    diagnoses.push_back(make_diagnosis(true, {{0, 6.0}, {1, 2.0}}));
+  }
+  IncidentOptions options;
+  options.min_states = 2;
+  options.strength_fraction = 0.1;
+  auto incidents =
+      aggregate_incidents(states, diagnoses, make_interps(), options);
+  ASSERT_EQ(incidents.size(), 1u);
+  ASSERT_GE(incidents[0].causes.size(), 2u);
+  EXPECT_EQ(incidents[0].causes[0].hazard, HazardEvent::kRoutingLoop);
+  EXPECT_NEAR(incidents[0].causes[0].share, 0.75, 1e-9);
+  EXPECT_EQ(incidents[0].causes[1].hazard, HazardEvent::kContention);
+  EXPECT_NEAR(incidents[0].causes[1].share, 0.25, 1e-9);
+  // Summary mentions the dominant cause.
+  EXPECT_NE(incidents[0].summary.find("routing-loop"), std::string::npos);
+}
+
+TEST(Incidents, MinCauseShareDropsTrivia) {
+  std::vector<trace::StateVector> states;
+  std::vector<Diagnosis> diagnoses;
+  for (int i = 0; i < 3; ++i) {
+    states.push_back(make_state(1, 50.0 * i));
+    diagnoses.push_back(make_diagnosis(true, {{0, 99.0}, {1, 1.0}}));
+  }
+  IncidentOptions options;
+  options.min_states = 2;
+  options.strength_fraction = 0.0;
+  options.min_cause_share = 0.05;
+  auto incidents =
+      aggregate_incidents(states, diagnoses, make_interps(), options);
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].causes.size(), 1u);  // Contention at 1% dropped.
+}
+
+TEST(Incidents, UnlabelledRowsContributeNoCause) {
+  std::vector<trace::StateVector> states = {make_state(1, 0.0),
+                                            make_state(1, 10.0),
+                                            make_state(1, 20.0)};
+  std::vector<Diagnosis> diagnoses(3, make_diagnosis(true, {{2, 5.0}}));
+  IncidentOptions options;
+  options.min_states = 2;
+  auto incidents =
+      aggregate_incidents(states, diagnoses, make_interps(), options);
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_TRUE(incidents[0].causes.empty());
+  EXPECT_NE(incidents[0].summary.find("no labelled cause"), std::string::npos);
+}
+
+TEST(Incidents, MissingInterpretationThrows) {
+  std::vector<trace::StateVector> states(3, make_state(1, 0.0));
+  std::vector<Diagnosis> diagnoses(3, make_diagnosis(true, {{9, 5.0}}, 10));
+  IncidentOptions options;
+  options.min_states = 1;
+  EXPECT_THROW(
+      aggregate_incidents(states, diagnoses, make_interps(), options),
+      std::invalid_argument);
+}
+
+TEST(Incidents, LocalizationFromPositions) {
+  std::vector<trace::StateVector> states = {
+      make_state(1, 0.0), make_state(2, 10.0), make_state(3, 20.0)};
+  std::vector<Diagnosis> diagnoses(3, make_diagnosis(true, {{0, 5.0}}));
+  // Node positions indexed by id (0 = sink, unused here).
+  std::vector<wsn::Position> positions = {
+      {0, 0}, {10.0, 0.0}, {20.0, 0.0}, {30.0, 0.0}};
+  IncidentOptions options;
+  options.min_states = 2;
+  auto incidents = aggregate_incidents(states, diagnoses, make_interps(),
+                                       options, positions);
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_TRUE(incidents[0].localized);
+  EXPECT_NEAR(incidents[0].center.x, 20.0, 1e-9);
+  EXPECT_NEAR(incidents[0].center.y, 0.0, 1e-9);
+  EXPECT_NEAR(incidents[0].radius_m, std::sqrt(200.0 / 3.0), 1e-9);
+  EXPECT_NE(incidents[0].summary.find("near ("), std::string::npos);
+
+  // Without positions: no localization.
+  auto plain =
+      aggregate_incidents(states, diagnoses, make_interps(), options);
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_FALSE(plain[0].localized);
+}
+
+TEST(Incidents, StrengthProfileIsMeanOfMembers) {
+  std::vector<trace::StateVector> states = {make_state(1, 0.0),
+                                            make_state(2, 10.0)};
+  std::vector<Diagnosis> diagnoses = {make_diagnosis(true, {{0, 4.0}}),
+                                      make_diagnosis(true, {{1, 2.0}})};
+  IncidentOptions options;
+  options.min_states = 1;
+  auto incidents =
+      aggregate_incidents(states, diagnoses, make_interps(), options);
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_DOUBLE_EQ(incidents[0].strength_profile[0], 2.0);
+  EXPECT_DOUBLE_EQ(incidents[0].strength_profile[1], 1.0);
+  EXPECT_DOUBLE_EQ(incidents[0].strength_profile[2], 0.0);
+}
+
+}  // namespace
+}  // namespace vn2::core

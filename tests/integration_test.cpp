@@ -1,0 +1,216 @@
+// End-to-end pipeline tests: simulator → trace → training → inference →
+// interpretation → evaluation against injected ground truth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "core/vn2.hpp"
+#include "scenario/scenario.hpp"
+#include "trace/csv.hpp"
+#include "trace/trace.hpp"
+
+namespace vn2 {
+namespace {
+
+/// A 16-node network with a fault cocktail, 2 simulated hours.
+scenario::ScenarioBundle faulty_bundle(std::uint64_t seed) {
+  scenario::ScenarioBundle bundle = scenario::tiny(16, 7200.0, seed);
+
+  wsn::FaultCommand loop;
+  loop.type = wsn::FaultCommand::Type::kForcedLoop;
+  loop.node = 6;
+  loop.start = 1800.0;
+  loop.end = 2700.0;
+  bundle.faults.push_back(loop);
+
+  wsn::FaultCommand jam;
+  jam.type = wsn::FaultCommand::Type::kJammer;
+  jam.center = {12.0, 12.0};
+  jam.radius_m = 40.0;
+  jam.start = 3600.0;
+  jam.end = 4500.0;
+  jam.magnitude = 0.6;
+  bundle.faults.push_back(jam);
+
+  wsn::FaultCommand fail;
+  fail.type = wsn::FaultCommand::Type::kNodeFailure;
+  fail.node = 9;
+  fail.start = 5400.0;
+  bundle.faults.push_back(fail);
+
+  wsn::FaultCommand reboot;
+  reboot.type = wsn::FaultCommand::Type::kNodeReboot;
+  reboot.node = 9;
+  reboot.start = 6300.0;
+  bundle.faults.push_back(reboot);
+
+  return bundle;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto bundle = faulty_bundle(2024);
+    wsn::Simulator sim = bundle.make_simulator();
+    result_ = new wsn::SimulationResult(sim.run());
+    trace_ = new trace::Trace(trace::build_trace(*result_));
+    states_ = new std::vector<trace::StateVector>(trace::extract_states(*trace_));
+
+    core::Vn2Tool::Options options;
+    options.training.rank = 8;
+    options.training.nmf.max_iterations = 300;
+    tool_ = new core::Vn2Tool(
+        core::Vn2Tool::train_from_states(*states_, options));
+  }
+  static void TearDownTestSuite() {
+    delete tool_;
+    delete states_;
+    delete trace_;
+    delete result_;
+    tool_ = nullptr;
+    states_ = nullptr;
+    trace_ = nullptr;
+    result_ = nullptr;
+  }
+
+  static wsn::SimulationResult* result_;
+  static trace::Trace* trace_;
+  static std::vector<trace::StateVector>* states_;
+  static core::Vn2Tool* tool_;
+};
+
+wsn::SimulationResult* PipelineTest::result_ = nullptr;
+trace::Trace* PipelineTest::trace_ = nullptr;
+std::vector<trace::StateVector>* PipelineTest::states_ = nullptr;
+core::Vn2Tool* PipelineTest::tool_ = nullptr;
+
+TEST_F(PipelineTest, TraceHasSubstance) {
+  EXPECT_GT(trace_->total_snapshots(), 100u);
+  EXPECT_GT(states_->size(), 100u);
+  EXPECT_GT(trace::overall_prr(*result_), 0.5);
+}
+
+TEST_F(PipelineTest, TrainingFoundExceptions) {
+  const core::TrainingReport& report = tool_->report();
+  EXPECT_GT(report.exception_states, 0u);
+  EXPECT_LT(report.exception_states, report.training_states);
+  EXPECT_EQ(tool_->model().rank(), 8u);
+}
+
+TEST_F(PipelineTest, LoopWindowStatesImplicateLoopFamilyMetrics) {
+  // During the forced-loop window, some state near node 6 must diagnose as
+  // an exception whose dominant metrics include loop/traffic counters.
+  bool found = false;
+  for (const trace::StateVector& state : *states_) {
+    if (state.time < 1800.0 || state.time > 3000.0) continue;
+    const auto explanation = tool_->explain(state.delta);
+    if (!explanation.diagnosis.is_exception) continue;
+    for (const auto& [interp, strength] : explanation.causes) {
+      for (const auto& [metric, value] : interp->dominant_metrics) {
+        if (metric == metrics::MetricId::kLoopCounter ||
+            metric == metrics::MetricId::kDuplicateCounter) {
+          found = true;
+        }
+      }
+    }
+    if (found) break;
+  }
+  EXPECT_TRUE(found) << "no loop-flavored diagnosis in the loop window";
+}
+
+TEST_F(PipelineTest, JammerWindowRaisesContentionDiagnoses) {
+  std::size_t contention_hits = 0;
+  for (const trace::StateVector& state : *states_) {
+    if (state.time < 3600.0 || state.time > 4800.0) continue;
+    const auto explanation = tool_->explain(state.delta);
+    if (!explanation.diagnosis.is_exception) continue;
+    for (const auto& [interp, strength] : explanation.causes) {
+      for (const auto& [metric, value] : interp->dominant_metrics) {
+        if (metric == metrics::MetricId::kMacBackoffCounter ||
+            metric == metrics::MetricId::kNoackRetransmitCounter)
+          ++contention_hits;
+      }
+    }
+  }
+  EXPECT_GT(contention_hits, 0u);
+}
+
+TEST_F(PipelineTest, EvaluationAgainstGroundTruth) {
+  std::vector<core::Diagnosis> diagnoses;
+  diagnoses.reserve(states_->size());
+  for (const trace::StateVector& state : *states_)
+    diagnoses.push_back(tool_->diagnose_state(state.delta));
+
+  core::EvalOptions options;
+  options.window_slack = 1500.0;
+  auto predictions = core::predict_hazards(*states_, diagnoses,
+                                           tool_->interpretations(), options);
+  EXPECT_FALSE(predictions.empty());
+  core::EvalReport report =
+      core::evaluate(predictions, result_->ground_truth, options);
+  // The pipeline must detect at least some of the injected hazard classes.
+  EXPECT_GT(report.macro_recall, 0.0);
+}
+
+TEST_F(PipelineTest, ModelRoundTripThroughDisk) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vn2_integration_model.txt")
+          .string();
+  tool_->model().save(path);
+  core::Vn2Tool reloaded = core::Vn2Tool::from_model(core::Vn2Model::load(path));
+  std::remove(path.c_str());
+
+  const trace::StateVector& probe = states_->at(states_->size() / 2);
+  const core::Diagnosis a = tool_->diagnose_state(probe.delta);
+  const core::Diagnosis b = reloaded.diagnose_state(probe.delta);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (std::size_t r = 0; r < a.weights.size(); ++r)
+    EXPECT_NEAR(a.weights[r], b.weights[r], 1e-9);
+  EXPECT_EQ(reloaded.interpretations().size(), tool_->interpretations().size());
+}
+
+TEST_F(PipelineTest, CsvRoundTripPreservesStates) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vn2_integration_trace.csv")
+          .string();
+  trace::write_trace_csv_file(path, *trace_);
+  trace::Trace loaded = trace::read_trace_csv_file(path);
+  std::remove(path.c_str());
+  auto reloaded_states = trace::extract_states(loaded);
+  ASSERT_EQ(reloaded_states.size(), states_->size());
+  // Training on the reloaded trace gives the same model.
+  core::Vn2Tool::Options options;
+  options.training.rank = 8;
+  options.training.nmf.max_iterations = 300;
+  core::Vn2Tool retrained =
+      core::Vn2Tool::train_from_states(reloaded_states, options);
+  EXPECT_NEAR(
+      linalg::frobenius_distance(retrained.model().psi(), tool_->model().psi()),
+      0.0, 1e-6);
+}
+
+TEST_F(PipelineTest, ExplainProducesReadableText) {
+  const auto explanation = tool_->explain(states_->front().delta);
+  EXPECT_FALSE(explanation.text.empty());
+  EXPECT_EQ(explanation.causes.size(), explanation.diagnosis.ranked.size());
+}
+
+TEST(PipelineSmall, TrainFromTraceConvenience) {
+  auto bundle = scenario::tiny(9, 3600.0, 5);
+  wsn::SimulationResult result = bundle.make_simulator().run();
+  trace::Trace log = trace::build_trace(result);
+  core::Vn2Tool::Options options;
+  options.training.rank = 4;
+  core::Vn2Tool tool = core::Vn2Tool::train_from_trace(log, options);
+  EXPECT_TRUE(tool.model().trained());
+  EXPECT_EQ(tool.interpretations().size(), 4u);
+}
+
+TEST(PipelineSmall, FromModelRejectsUntrained) {
+  EXPECT_THROW(core::Vn2Tool::from_model(core::Vn2Model{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vn2

@@ -1,0 +1,148 @@
+#include "core/interpretation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "test_helpers.hpp"
+
+namespace vn2::core {
+namespace {
+
+using linalg::Vector;
+using metrics::HazardEvent;
+using metrics::MetricId;
+
+/// Builds an encoded Ψ-row with given signed spikes (σ units).
+Vector encoded_row(
+    const std::vector<std::pair<MetricId, double>>& spikes) {
+  Vector row(kEncodedCount, 0.0);
+  for (const auto& [id, value] : spikes) {
+    if (value >= 0.0)
+      row[metrics::index_of(id)] = value;
+    else
+      row[metrics::kMetricCount + metrics::index_of(id)] = -value;
+  }
+  return row;
+}
+
+TEST(InterpretRow, RejectsWrongSize) {
+  EXPECT_THROW(interpret_row(Vector(43), 0), std::invalid_argument);
+}
+
+TEST(InterpretRow, EmptyRowIsInactive) {
+  const auto interp = interpret_row(Vector(kEncodedCount, 0.0), 3);
+  EXPECT_EQ(interp.row, 3u);
+  EXPECT_TRUE(interp.dominant_metrics.empty());
+  EXPECT_FALSE(interp.has_label());
+  EXPECT_THROW((void)interp.top_hazard(), std::logic_error);
+}
+
+TEST(InterpretRow, LoopSignatureLabelsRoutingLoop) {
+  const auto interp = interpret_row(
+      encoded_row({{MetricId::kLoopCounter, 8.0},
+                   {MetricId::kTransmitCounter, 6.0},
+                   {MetricId::kSelfTransmitCounter, 5.0},
+                   {MetricId::kDuplicateCounter, 6.0},
+                   {MetricId::kOverflowDropCounter, 4.0}}),
+      0);
+  ASSERT_TRUE(interp.has_label());
+  EXPECT_EQ(interp.top_hazard(), HazardEvent::kRoutingLoop);
+  // The loop signature's variation mass sits mostly on traffic counters
+  // (transmit + self-transmit), so that is the dominant family.
+  EXPECT_EQ(interp.dominant_family, metrics::MetricFamily::kTraffic);
+}
+
+TEST(InterpretRow, ContentionSignature) {
+  // Paper §IV-C, Ψ5: NOACK_retransmit + MacI_backoff → contention.
+  const auto interp = interpret_row(
+      encoded_row({{MetricId::kNoackRetransmitCounter, 7.0},
+                   {MetricId::kMacBackoffCounter, 8.0}}),
+      1);
+  ASSERT_TRUE(interp.has_label());
+  EXPECT_EQ(interp.top_hazard(), HazardEvent::kContention);
+}
+
+TEST(InterpretRow, VoltageDropSignature) {
+  const auto interp =
+      interpret_row(encoded_row({{MetricId::kVoltage, -9.0}}), 2);
+  ASSERT_FALSE(interp.dominant_metrics.empty());
+  EXPECT_EQ(interp.dominant_metrics[0].first, MetricId::kVoltage);
+  EXPECT_LT(interp.dominant_metrics[0].second, 0.0);  // Sign preserved.
+  ASSERT_TRUE(interp.has_label());
+  EXPECT_EQ(interp.top_hazard(), HazardEvent::kNodeLowVoltage);
+  EXPECT_EQ(interp.dominant_family, metrics::MetricFamily::kEnergy);
+}
+
+TEST(InterpretRow, QueueOverflowSignature) {
+  const auto interp = interpret_row(
+      encoded_row({{MetricId::kOverflowDropCounter, 8.0},
+                   {MetricId::kDuplicateCounter, 5.0}}),
+      0);
+  ASSERT_TRUE(interp.has_label());
+  EXPECT_EQ(interp.top_hazard(), HazardEvent::kQueueOverflow);
+}
+
+TEST(InterpretRow, RisingNoiseNeedsRssiSpikes) {
+  std::vector<std::pair<MetricId, double>> spikes;
+  for (std::size_t slot = 0; slot < 6; ++slot)
+    spikes.emplace_back(metrics::neighbor_rssi(slot), -6.0);
+  const auto interp = interpret_row(encoded_row(spikes), 0);
+  ASSERT_TRUE(interp.has_label());
+  EXPECT_EQ(interp.top_hazard(), HazardEvent::kRisingNoise);
+  EXPECT_EQ(interp.dominant_family, metrics::MetricFamily::kLinkQuality);
+}
+
+TEST(InterpretRow, DominanceFractionControlsSelection) {
+  const Vector row = encoded_row(
+      {{MetricId::kLoopCounter, 10.0}, {MetricId::kTransmitCounter, 3.0}});
+  InterpretOptions loose;
+  loose.dominance_fraction = 0.2;
+  EXPECT_EQ(interpret_row(row, 0, loose).dominant_metrics.size(), 2u);
+  InterpretOptions tight;
+  tight.dominance_fraction = 0.5;
+  EXPECT_EQ(interpret_row(row, 0, tight).dominant_metrics.size(), 1u);
+}
+
+TEST(InterpretRow, MaxDominantCaps) {
+  std::vector<std::pair<MetricId, double>> spikes;
+  for (std::size_t m = 0; m < 12; ++m)
+    spikes.emplace_back(metrics::metric_at(m), 5.0);
+  InterpretOptions options;
+  options.max_dominant = 4;
+  const auto interp = interpret_row(encoded_row(spikes), 0, options);
+  EXPECT_EQ(interp.dominant_metrics.size(), 4u);
+}
+
+TEST(InterpretRow, SummaryMentionsTopMetric) {
+  const auto interp =
+      interpret_row(encoded_row({{MetricId::kLoopCounter, 9.0}}), 0);
+  EXPECT_NE(interp.summary.find("LC"), std::string::npos);
+}
+
+TEST(Interpret, WholeMatrix) {
+  linalg::Matrix psi(3, kEncodedCount, 0.0);
+  psi(0, metrics::index_of(MetricId::kLoopCounter)) = 8.0;
+  psi(1, metrics::index_of(MetricId::kMacBackoffCounter)) = 8.0;
+  const auto interps = interpret(psi);
+  ASSERT_EQ(interps.size(), 3u);
+  EXPECT_EQ(interps[0].row, 0u);
+  EXPECT_EQ(interps[2].row, 2u);
+  EXPECT_FALSE(interps[2].has_label());  // All-zero row.
+}
+
+TEST(Interpret, TrainedModelRowsMostlyLabeled) {
+  auto synthetic =
+      vn2::testing::make_synthetic(vn2::testing::standard_causes(), 400, 7);
+  TrainingOptions options;
+  options.rank = 5;
+  TrainingReport report = train(synthetic.states, options);
+  const auto interps = interpret(report.model.psi());
+  std::size_t labeled = 0;
+  for (const auto& interp : interps)
+    if (interp.has_label()) ++labeled;
+  // The planted causes are strong; most factors should earn a label.
+  EXPECT_GE(labeled, interps.size() / 2);
+}
+
+}  // namespace
+}  // namespace vn2::core

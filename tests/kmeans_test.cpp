@@ -1,0 +1,131 @@
+#include "baselines/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "linalg/random.hpp"
+#include "nmf/nmf.hpp"
+
+namespace vn2::baselines {
+namespace {
+
+using linalg::Matrix;
+
+/// Three well-separated Gaussian blobs.
+Matrix blobs(std::size_t per_cluster, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.3);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  Matrix data(3 * per_cluster, 2);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      data(c * per_cluster + i, 0) = centers[c][0] + noise(rng);
+      data(c * per_cluster + i, 1) = centers[c][1] + noise(rng);
+    }
+  }
+  return data;
+}
+
+TEST(Kmeans, RejectsBadInput) {
+  EXPECT_THROW(kmeans(Matrix{}, 2), std::invalid_argument);
+  EXPECT_THROW(kmeans(Matrix(3, 2), 0), std::invalid_argument);
+  EXPECT_THROW(kmeans(Matrix(3, 2), 4), std::invalid_argument);
+}
+
+TEST(Kmeans, RecoversWellSeparatedBlobs) {
+  const Matrix data = blobs(40, 7);
+  KmeansResult result = kmeans(data, 3);
+  EXPECT_TRUE(result.converged);
+  // All members of a blob share a cluster, and the three blobs differ.
+  std::set<std::size_t> labels;
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::size_t label = result.assignment[c * 40];
+    labels.insert(label);
+    for (std::size_t i = 1; i < 40; ++i)
+      EXPECT_EQ(result.assignment[c * 40 + i], label) << "blob " << c;
+  }
+  EXPECT_EQ(labels.size(), 3u);
+  // Inertia ≈ within-blob variance only.
+  EXPECT_LT(result.inertia / static_cast<double>(data.rows()), 0.5);
+}
+
+TEST(Kmeans, SingleClusterIsTheMean) {
+  Matrix data{{0.0, 0.0}, {2.0, 4.0}, {4.0, 2.0}};
+  KmeansResult result = kmeans(data, 1);
+  EXPECT_NEAR(result.centroids(0, 0), 2.0, 1e-9);
+  EXPECT_NEAR(result.centroids(0, 1), 2.0, 1e-9);
+}
+
+TEST(Kmeans, KEqualsNGivesZeroInertia) {
+  Matrix data = linalg::random_uniform_matrix(6, 3, 5);
+  KmeansResult result = kmeans(data, 6);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(Kmeans, DeterministicGivenSeed) {
+  const Matrix data = blobs(20, 9);
+  KmeansOptions options;
+  options.seed = 1234;
+  const KmeansResult a = kmeans(data, 3, options);
+  const KmeansResult b = kmeans(data, 3, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_LT(linalg::frobenius_distance(a.centroids, b.centroids), 1e-12);
+}
+
+TEST(Kmeans, InertiaDecreasesWithK) {
+  const Matrix data = blobs(30, 11);
+  double previous = 1e300;
+  for (std::size_t k : {1u, 2u, 3u, 5u, 8u}) {
+    const KmeansResult result = kmeans(data, k);
+    EXPECT_LE(result.inertia, previous + 1e-9);
+    previous = result.inertia;
+  }
+}
+
+TEST(Kmeans, ReconstructMapsRowsToCentroids) {
+  const Matrix data = blobs(10, 3);
+  const KmeansResult result = kmeans(data, 3);
+  const Matrix rec = kmeans_reconstruct(result, data.rows());
+  ASSERT_EQ(rec.rows(), data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i)
+    for (std::size_t j = 0; j < data.cols(); ++j)
+      EXPECT_DOUBLE_EQ(rec(i, j),
+                       result.centroids(result.assignment[i], j));
+  EXPECT_THROW(kmeans_reconstruct(result, 5), std::invalid_argument);
+}
+
+TEST(Kmeans, HardAssignmentFailsOnAdditiveMixtures) {
+  // The structural point of the ablation: states produced by cause A, cause
+  // B, and cause A+B together. NMF (rank 2) models A+B additively; k-means
+  // (k = 2) must park the mixed states at one of the pure centroids.
+  std::mt19937_64 rng(17);
+  std::normal_distribution<double> noise(0.0, 0.05);
+  const std::size_t per_group = 40;
+  Matrix data(3 * per_group, 6);
+  for (std::size_t i = 0; i < per_group; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      const double a = j < 3 ? 4.0 : 0.0;
+      const double b = j < 3 ? 0.0 : 4.0;
+      data(i, j) = std::max(0.0, a + noise(rng));
+      data(per_group + i, j) = std::max(0.0, b + noise(rng));
+      data(2 * per_group + i, j) = std::max(0.0, a + b + noise(rng));
+    }
+  }
+
+  const KmeansResult clusters = kmeans(data, 2);
+  const double kmeans_error = linalg::frobenius_distance(
+      data, kmeans_reconstruct(clusters, data.rows()));
+
+  nmf::NmfOptions nmf_options;
+  nmf_options.max_iterations = 500;
+  const nmf::NmfResult factors = nmf::factorize(data, 2, nmf_options);
+  const double nmf_error = factors.approximation_accuracy(data);
+
+  EXPECT_LT(nmf_error, 0.5 * kmeans_error)
+      << "NMF should model the A+B mixture additively; k-means cannot";
+}
+
+}  // namespace
+}  // namespace vn2::baselines

@@ -1,0 +1,264 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/random.hpp"
+#include "linalg/solve.hpp"
+
+namespace vn2::linalg {
+namespace {
+
+TEST(Vector, ConstructionAndIndexing) {
+  Vector v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  v[2] = -2.0;
+  EXPECT_DOUBLE_EQ(v[2], -2.0);
+}
+
+TEST(Vector, OutOfRangeThrows) {
+  Vector v(2);
+  EXPECT_THROW(v[2], std::out_of_range);
+  const Vector& cv = v;
+  EXPECT_THROW(cv[5], std::out_of_range);
+}
+
+TEST(Vector, Arithmetic) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{0.5, -1.0, 2.0};
+  Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 1.5);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  EXPECT_DOUBLE_EQ(sum[2], 5.0);
+  Vector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+  Vector scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled[2], 6.0);
+}
+
+TEST(Vector, MismatchedSizesThrow) {
+  Vector a(3), b(4);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+}
+
+TEST(Vector, Norms) {
+  Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm1(v), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(sum(v), -1.0);
+  EXPECT_DOUBLE_EQ(mean(v), -0.5);
+}
+
+TEST(Vector, MeanOfEmptyThrows) {
+  EXPECT_THROW(mean(Vector{}), std::invalid_argument);
+}
+
+TEST(Vector, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot(Vector{1, 2, 3}, Vector{4, 5, 6}), 32.0);
+}
+
+TEST(Matrix, ConstructionAndShape) {
+  Matrix m(2, 3, 7.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, IndexOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::out_of_range);
+  EXPECT_THROW(m(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, RowAccessAndMutation) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  row[0] = 40.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 40.0);
+  Vector rv = m.row_vector(0);
+  EXPECT_DOUBLE_EQ(rv[2], 3.0);
+  Vector cv = m.col_vector(1);
+  EXPECT_DOUBLE_EQ(cv[1], 5.0);
+}
+
+TEST(Matrix, SetRow) {
+  Matrix m(2, 2);
+  m.set_row(1, Vector{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+  EXPECT_THROW(m.set_row(0, Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, AppendRow) {
+  Matrix m;
+  std::vector<double> r1{1.0, 2.0};
+  m.append_row(r1);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 2u);
+  std::vector<double> bad{1.0, 2.0, 3.0};
+  EXPECT_THROW(m.append_row(bad), std::invalid_argument);
+}
+
+TEST(Matrix, Arithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 1}, {1, 1}};
+  Matrix c = a + b;
+  EXPECT_DOUBLE_EQ(c(1, 1), 5.0);
+  Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  Matrix e = a * 3.0;
+  EXPECT_DOUBLE_EQ(e(1, 0), 9.0);
+  EXPECT_THROW(a += Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, Matmul) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, MatvecAndVecmat) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  Vector x{1.0, -1.0};
+  Vector y = matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+  Vector z = vecmat(Vector{1.0, 0.0, 2.0}, a);
+  EXPECT_DOUBLE_EQ(z[0], 11.0);
+  EXPECT_DOUBLE_EQ(z[1], 14.0);
+  EXPECT_THROW(matvec(a, Vector(3)), std::invalid_argument);
+  EXPECT_THROW(vecmat(Vector(2), a), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a = random_uniform_matrix(7, 5, 99, -1.0, 1.0);
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Matrix, Norms) {
+  Matrix a{{3, 0}, {0, -4}};
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(entrywise_l1(a), 7.0);
+  EXPECT_DOUBLE_EQ(max_abs(a), 4.0);
+  EXPECT_DOUBLE_EQ(frobenius_distance(a, a), 0.0);
+  EXPECT_THROW(frobenius_distance(a, Matrix(1, 2)), std::invalid_argument);
+}
+
+TEST(Matrix, IsNonnegative) {
+  EXPECT_TRUE(is_nonnegative(Matrix{{0, 1}, {2, 3}}));
+  EXPECT_FALSE(is_nonnegative(Matrix{{0, -1e-6}}));
+  EXPECT_TRUE(is_nonnegative(Matrix{{0, -1e-6}}, 1e-5));
+}
+
+TEST(Random, Deterministic) {
+  Matrix a = random_uniform_matrix(4, 4, 123);
+  Matrix b = random_uniform_matrix(4, 4, 123);
+  EXPECT_EQ(a, b);
+  Matrix c = random_uniform_matrix(4, 4, 124);
+  EXPECT_NE(a, c);
+}
+
+TEST(Random, RespectsBounds) {
+  Matrix a = random_uniform_matrix(20, 20, 5, 2.0, 3.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a.data()[i], 2.0);
+    EXPECT_LT(a.data()[i], 3.0);
+  }
+}
+
+TEST(Random, GaussianMoments) {
+  Matrix g = random_gaussian_matrix(200, 200, 7, 1.0, 2.0);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) mean += g.data()[i];
+  mean /= static_cast<double>(g.size());
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  double var = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    var += (g.data()[i] - mean) * (g.data()[i] - mean);
+  var /= static_cast<double>(g.size());
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  Matrix a{{4, 1}, {1, 3}};
+  Vector b{1.0, 2.0};
+  Vector x = cholesky_solve(a, b);
+  Vector ax = matvec(a, x);
+  EXPECT_NEAR(ax[0], 1.0, 1e-12);
+  EXPECT_NEAR(ax[1], 2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  EXPECT_THROW(cholesky_factor(Matrix{{0, 0}, {0, 0}}), std::runtime_error);
+  EXPECT_THROW(cholesky_factor(Matrix{{1, 0, 0}}), std::invalid_argument);
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  // Build an SPD matrix as BᵀB + I.
+  Matrix b = random_uniform_matrix(6, 6, 11, -1.0, 1.0);
+  Matrix a = matmul(transpose(b), b);
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) += 1.0;
+  Matrix l = cholesky_factor(a);
+  Matrix reconstructed = matmul(l, transpose(l));
+  EXPECT_LT(frobenius_distance(a, reconstructed), 1e-9);
+}
+
+// Property sweep: matmul associativity on random matrices of varied shapes.
+class MatmulProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatmulProperty, Associativity) {
+  const std::uint64_t seed = GetParam();
+  Matrix a = random_uniform_matrix(5, 4, seed, -2.0, 2.0);
+  Matrix b = random_uniform_matrix(4, 6, seed + 1, -2.0, 2.0);
+  Matrix c = random_uniform_matrix(6, 3, seed + 2, -2.0, 2.0);
+  Matrix left = matmul(matmul(a, b), c);
+  Matrix right = matmul(a, matmul(b, c));
+  EXPECT_LT(frobenius_distance(left, right), 1e-10);
+}
+
+TEST_P(MatmulProperty, TransposeOfProduct) {
+  const std::uint64_t seed = GetParam();
+  Matrix a = random_uniform_matrix(4, 5, seed, -1.0, 1.0);
+  Matrix b = random_uniform_matrix(5, 3, seed + 9, -1.0, 1.0);
+  Matrix lhs = transpose(matmul(a, b));
+  Matrix rhs = matmul(transpose(b), transpose(a));
+  EXPECT_LT(frobenius_distance(lhs, rhs), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatmulProperty,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace vn2::linalg

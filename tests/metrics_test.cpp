@@ -1,0 +1,143 @@
+#include "metrics/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "metrics/hazards.hpp"
+
+namespace vn2::metrics {
+namespace {
+
+TEST(Schema, ExactlyFortyThreeMetrics) {
+  EXPECT_EQ(kMetricCount, 43u);
+  EXPECT_EQ(all_metrics().size(), 43u);
+}
+
+TEST(Schema, BlockSizesMatchPaper) {
+  // C1: 6 sensor/routing, C2: 20 neighbor metrics, C3: 17 counters.
+  std::size_t c1 = 0, c2 = 0, c3 = 0;
+  for (MetricId id : all_metrics()) {
+    switch (packet_type(id)) {
+      case PacketType::kC1: ++c1; break;
+      case PacketType::kC2: ++c2; break;
+      case PacketType::kC3: ++c3; break;
+    }
+  }
+  EXPECT_EQ(c1, 6u);
+  EXPECT_EQ(c2, 20u);
+  EXPECT_EQ(c3, 17u);
+}
+
+TEST(Schema, NamesAreUnique) {
+  std::set<std::string> names, shorts;
+  for (MetricId id : all_metrics()) {
+    EXPECT_TRUE(names.insert(std::string(name(id))).second)
+        << "duplicate name " << name(id);
+    EXPECT_TRUE(shorts.insert(std::string(short_name(id))).second)
+        << "duplicate short name " << short_name(id);
+  }
+}
+
+TEST(Schema, IndexRoundTrip) {
+  for (std::size_t i = 0; i < kMetricCount; ++i)
+    EXPECT_EQ(index_of(metric_at(i)), i);
+  EXPECT_THROW(metric_at(kMetricCount), std::out_of_range);
+}
+
+TEST(Schema, NeighborSlotHelpers) {
+  EXPECT_EQ(neighbor_rssi(0), MetricId::kNeighborRssi0);
+  EXPECT_EQ(neighbor_rssi(9), MetricId::kNeighborRssi9);
+  EXPECT_EQ(neighbor_etx(0), MetricId::kNeighborEtx0);
+  EXPECT_EQ(neighbor_etx(9), MetricId::kNeighborEtx9);
+  EXPECT_EQ(index_of(neighbor_etx(0)) - index_of(neighbor_rssi(0)),
+            kMaxNeighbors);
+}
+
+TEST(Schema, CountersAreC3OrGaugeConsistent) {
+  // Every counter lives in the C3 block; C1/C2 carry gauges only.
+  for (MetricId id : all_metrics()) {
+    if (kind(id) == MetricKind::kCounter)
+      EXPECT_EQ(packet_type(id), PacketType::kC3) << name(id);
+    if (packet_type(id) != PacketType::kC3)
+      EXPECT_EQ(kind(id), MetricKind::kGauge) << name(id);
+  }
+}
+
+TEST(Schema, PaperHeadlineMetricsExist) {
+  // The metrics Table I and the evaluation discuss by name.
+  EXPECT_EQ(name(MetricId::kNoackRetransmitCounter),
+            "NOACK_retransmit_counter");
+  EXPECT_EQ(name(MetricId::kOverflowDropCounter), "Overflow_drop_counter");
+  EXPECT_EQ(name(MetricId::kParentChangeCounter), "Parent_change_counter");
+  EXPECT_EQ(name(MetricId::kLoopCounter), "Loop_counter");
+  EXPECT_EQ(name(MetricId::kDropPacketCounter), "Drop_packet_counter");
+  EXPECT_EQ(name(MetricId::kDuplicateCounter), "Duplicate_counter");
+  EXPECT_EQ(name(MetricId::kMacBackoffCounter), "MacI_backoff_counter");
+  EXPECT_EQ(name(MetricId::kNoParentCounter), "No_parent_counter");
+}
+
+TEST(Schema, FamilyNamesResolve) {
+  for (MetricId id : all_metrics())
+    EXPECT_FALSE(family_name(family(id)).empty());
+}
+
+TEST(Hazards, TableCoversAllEvents) {
+  EXPECT_EQ(hazard_table().size(), kHazardCount);
+  std::set<HazardEvent> seen;
+  for (const HazardInfo& info : hazard_table()) {
+    EXPECT_TRUE(seen.insert(info.event).second) << info.name;
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty());
+    EXPECT_FALSE(info.performance_impact.empty());
+    EXPECT_FALSE(info.signature_metrics.empty()) << info.name;
+  }
+}
+
+TEST(Hazards, LookupByEvent) {
+  const HazardInfo& loop = hazard_info(HazardEvent::kRoutingLoop);
+  EXPECT_EQ(loop.name, "routing-loop");
+  // Loop signature includes the loop counter itself.
+  bool has_lc = false;
+  for (MetricId id : loop.signature_metrics)
+    if (id == MetricId::kLoopCounter) has_lc = true;
+  EXPECT_TRUE(has_lc);
+}
+
+TEST(Hazards, SignatureMetricsAreValid) {
+  for (const HazardInfo& info : hazard_table())
+    for (MetricId id : info.signature_metrics)
+      EXPECT_LT(index_of(id), kMetricCount);
+}
+
+TEST(Hazards, ClassesGroupManifestations) {
+  using enum HazardEvent;
+  // Channel-level hazards are indistinguishable at the metric level.
+  EXPECT_EQ(hazard_class(kRisingNoise), hazard_class(kContention));
+  EXPECT_EQ(hazard_class(kLinkDegradation), hazard_class(kPersistentDrop));
+  // Topology churn groups together.
+  EXPECT_EQ(hazard_class(kNodeFailure), hazard_class(kNodeReboot));
+  EXPECT_EQ(hazard_class(kNodeFailure), hazard_class(kFrequentParentChange));
+  // But the major families stay apart.
+  EXPECT_NE(hazard_class(kRoutingLoop), hazard_class(kContention));
+  EXPECT_NE(hazard_class(kNodeLowVoltage), hazard_class(kUnstableClock));
+  EXPECT_NE(hazard_class(kQueueOverflow), hazard_class(kRoutingLoop));
+  // Every event has a printable class name.
+  for (const HazardInfo& info : hazard_table())
+    EXPECT_FALSE(hazard_class_name(hazard_class(info.event)).empty());
+}
+
+TEST(Hazards, TableIEntriesPresent) {
+  // The ten rows of the paper's Table I map onto these hazard events.
+  for (HazardEvent event :
+       {HazardEvent::kUnstableClock, HazardEvent::kNodeLowVoltage,
+        HazardEvent::kKeyNodeLargeSubtree, HazardEvent::kRisingNoise,
+        HazardEvent::kQueueOverflow, HazardEvent::kLinkDegradation,
+        HazardEvent::kFrequentParentChange, HazardEvent::kRoutingLoop,
+        HazardEvent::kPersistentDrop, HazardEvent::kDuplicateStorm})
+    EXPECT_NO_THROW(hazard_info(event));
+}
+
+}  // namespace
+}  // namespace vn2::metrics

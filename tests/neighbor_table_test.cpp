@@ -1,0 +1,162 @@
+#include "wsn/neighbor_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vn2::wsn {
+namespace {
+
+TEST(NeighborTable, InsertAndFind) {
+  NeighborTable table;
+  EXPECT_TRUE(table.on_beacon(5, -70.0, 0, 2.0, 10.0));
+  ASSERT_NE(table.find(5), nullptr);
+  EXPECT_EQ(table.find(5)->id, 5);
+  EXPECT_DOUBLE_EQ(table.find(5)->rssi_dbm, -70.0);
+  EXPECT_EQ(table.occupancy(), 1u);
+  EXPECT_EQ(table.find(99), nullptr);
+}
+
+TEST(NeighborTable, RssiEwmaConverges) {
+  NeighborTable table;
+  table.on_beacon(1, -80.0, 0, 1.0, 0.0);
+  for (std::uint32_t s = 1; s < 50; ++s)
+    table.on_beacon(1, -60.0, s, 1.0, static_cast<double>(s));
+  EXPECT_NEAR(table.find(1)->rssi_dbm, -60.0, 0.5);
+}
+
+TEST(NeighborTable, BeaconGapLowersInboundPrr) {
+  NeighborTable good, bad;
+  for (std::uint32_t s = 0; s < 30; ++s) {
+    good.on_beacon(1, -70.0, s, 1.0, s);
+    bad.on_beacon(1, -70.0, s * 5, 1.0, s);  // 4 of 5 beacons missed.
+  }
+  EXPECT_GT(good.find(1)->prr_in, 0.85);
+  EXPECT_LT(bad.find(1)->prr_in, 0.5);
+  EXPECT_GT(bad.find(1)->link_etx(), good.find(1)->link_etx());
+}
+
+TEST(NeighborTable, UnicastResultDrivesOutboundPrr) {
+  NeighborTable table;
+  table.on_beacon(2, -65.0, 0, 1.0, 0.0);
+  EXPECT_FALSE(table.find(2)->prr_out_known);
+  for (int i = 0; i < 20; ++i) table.on_unicast_result(2, false);
+  EXPECT_TRUE(table.find(2)->prr_out_known);
+  EXPECT_LT(table.find(2)->prr_out, 0.1);
+  for (int i = 0; i < 40; ++i) table.on_unicast_result(2, true);
+  EXPECT_GT(table.find(2)->prr_out, 0.85);
+}
+
+TEST(NeighborTable, UnicastToUnknownNeighborIsIgnored) {
+  NeighborTable table;
+  table.on_unicast_result(7, true);  // Must not crash or insert.
+  EXPECT_EQ(table.occupancy(), 0u);
+}
+
+TEST(NeighborTable, LinkEtxBounds) {
+  NeighborEntry entry;
+  entry.id = 1;
+  entry.prr_in = 1.0;
+  entry.prr_out = 1.0;
+  entry.prr_out_known = true;
+  EXPECT_DOUBLE_EQ(entry.link_etx(), 1.0);
+  entry.prr_in = 1e-9;
+  EXPECT_DOUBLE_EQ(entry.link_etx(), NeighborTable::kEtxCap);
+}
+
+TEST(NeighborTable, TableFullAdmissionIsByRouteQuality) {
+  NeighborTable table;
+  // Fill with entries of increasing advertised path ETX (1..10); the fresh
+  // prior gives each a link ETX of 4, so route costs are 5..14.
+  for (NodeId id = 1; id <= NeighborTable::kSlots; ++id)
+    table.on_beacon(id, -70.0, 0, static_cast<double>(id), 0.0);
+  EXPECT_EQ(table.occupancy(), NeighborTable::kSlots);
+  // A newcomer whose route (20 + 4) is worse than every entry is refused —
+  // even at a much stronger RSSI.
+  EXPECT_FALSE(table.on_beacon(100, -50.0, 0, 20.0, 1.0));
+  // A newcomer with an excellent route evicts the worst-route entry
+  // (id=10, route 14), not the weakest-RSSI one.
+  EXPECT_TRUE(table.on_beacon(101, -80.0, 0, 0.5, 2.0));
+  EXPECT_EQ(table.find(10), nullptr);
+  ASSERT_NE(table.find(101), nullptr);
+  EXPECT_NE(table.find(1), nullptr);
+}
+
+TEST(NeighborTable, TableFullNeverEvictsCurrentParent) {
+  NeighborTable table;
+  for (NodeId id = 1; id <= NeighborTable::kSlots; ++id)
+    table.on_beacon(id, -70.0, 0, static_cast<double>(id), 0.0);
+  // Entry 10 has the worst route but is the current parent: the next-worst
+  // (id=9) must be evicted instead.
+  EXPECT_TRUE(table.on_beacon(101, -80.0, 0, 0.5, 2.0, /*current_parent=*/10));
+  EXPECT_NE(table.find(10), nullptr);
+  EXPECT_EQ(table.find(9), nullptr);
+}
+
+TEST(NeighborTable, SlotStability) {
+  NeighborTable table;
+  table.on_beacon(3, -70.0, 0, 1.0, 0.0);
+  table.on_beacon(8, -71.0, 0, 1.0, 0.0);
+  // Node 3 occupies slot 0; further beacons must not move it.
+  ASSERT_EQ(table.slots()[0].id, 3);
+  ASSERT_EQ(table.slots()[1].id, 8);
+  table.on_beacon(3, -69.0, 1, 1.0, 1.0);
+  EXPECT_EQ(table.slots()[0].id, 3);
+  // Evicting 3 frees slot 0; a new node reuses it.
+  table.evict(3);
+  table.on_beacon(12, -60.0, 0, 1.0, 2.0);
+  EXPECT_EQ(table.slots()[0].id, 12);
+  EXPECT_EQ(table.slots()[1].id, 8);
+}
+
+TEST(NeighborTable, BestParentMinimizesRouteEtx) {
+  NeighborTable table;
+  table.on_beacon(1, -60.0, 0, 5.0, 0.0);  // path 5 + link
+  table.on_beacon(2, -60.0, 0, 1.0, 0.0);  // path 1 + link → best
+  table.on_beacon(3, -60.0, 0, 9.0, 0.0);
+  auto best = table.best_parent();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 2);
+  // Excluding the best yields the runner-up.
+  auto second = table.best_parent(2);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 1);
+}
+
+TEST(NeighborTable, BestParentEmptyTable) {
+  NeighborTable table;
+  EXPECT_FALSE(table.best_parent().has_value());
+}
+
+TEST(NeighborTable, BestParentRejectsUnusableRoutes) {
+  NeighborTable table;
+  // Advertised path at the ETX cap = no route.
+  table.on_beacon(1, -60.0, 0, NeighborTable::kEtxCap, 0.0);
+  EXPECT_FALSE(table.best_parent().has_value());
+}
+
+TEST(NeighborTable, ExpireDropsStaleEntries) {
+  NeighborTable table;
+  table.on_beacon(1, -60.0, 0, 1.0, 0.0);
+  table.on_beacon(2, -60.0, 0, 1.0, 90.0);
+  EXPECT_EQ(table.expire(100.0, 50.0), 1u);
+  EXPECT_EQ(table.find(1), nullptr);
+  EXPECT_NE(table.find(2), nullptr);
+}
+
+TEST(NeighborTable, ClearEmptiesEverything) {
+  NeighborTable table;
+  table.on_beacon(1, -60.0, 0, 1.0, 0.0);
+  table.clear();
+  EXPECT_EQ(table.occupancy(), 0u);
+  EXPECT_FALSE(table.best_parent().has_value());
+}
+
+TEST(NeighborTable, BeaconSeqWrapTreatedAsContiguous) {
+  NeighborTable table;
+  table.on_beacon(1, -60.0, 100, 1.0, 0.0);
+  // Reboot: sequence restarts from 0. Must not torch prr_in.
+  table.on_beacon(1, -60.0, 0, 1.0, 1.0);
+  EXPECT_GT(table.find(1)->prr_in, 0.4);
+}
+
+}  // namespace
+}  // namespace vn2::wsn

@@ -1,0 +1,128 @@
+#include "nmf/nmf_kl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random.hpp"
+#include "nmf/nmf.hpp"
+
+namespace vn2::nmf {
+namespace {
+
+using linalg::Matrix;
+
+Matrix random_nonnegative(std::size_t n, std::size_t m, std::uint64_t seed) {
+  return linalg::random_uniform_matrix(n, m, seed, 0.0, 1.0);
+}
+
+Matrix planted_rank(std::size_t n, std::size_t m, std::size_t k,
+                    std::uint64_t seed) {
+  return linalg::matmul(random_nonnegative(n, k, seed),
+                        random_nonnegative(k, m, seed + 1));
+}
+
+TEST(KlDivergence, BasicProperties) {
+  Matrix e{{1.0, 2.0}, {0.0, 3.0}};
+  // Perfect reconstruction → zero divergence.
+  EXPECT_NEAR(kl_divergence(e, e), 0.0, 1e-9);
+  // Any deviation is positive.
+  Matrix off{{1.5, 2.0}, {0.0, 3.0}};
+  EXPECT_GT(kl_divergence(e, off), 0.0);
+  EXPECT_THROW(kl_divergence(e, Matrix(1, 2)), std::invalid_argument);
+}
+
+TEST(KlDivergence, ZeroEntriesContributeApprox) {
+  Matrix e(1, 1, 0.0);
+  Matrix a(1, 1, 2.0);
+  EXPECT_DOUBLE_EQ(kl_divergence(e, a), 2.0);
+}
+
+TEST(KlNmf, RejectsBadInput) {
+  EXPECT_THROW(factorize_kl(Matrix{}, 2), std::invalid_argument);
+  EXPECT_THROW(factorize_kl(Matrix{{1, -0.1}}, 1), std::invalid_argument);
+  EXPECT_THROW(factorize_kl(Matrix{{1, 2}, {3, 4}}, 0), std::invalid_argument);
+  EXPECT_THROW(factorize_kl(Matrix{{1, 2}, {3, 4}}, 3), std::invalid_argument);
+}
+
+TEST(KlNmf, FactorsAreNonnegative) {
+  Matrix e = random_nonnegative(20, 10, 42);
+  KlNmfResult r = factorize_kl(e, 4);
+  EXPECT_TRUE(linalg::is_nonnegative(r.w));
+  EXPECT_TRUE(linalg::is_nonnegative(r.psi));
+}
+
+TEST(KlNmf, RecoversPlantedLowRankStructure) {
+  Matrix e = planted_rank(40, 15, 3, 7);
+  KlNmfOptions options;
+  options.max_iterations = 1500;
+  options.relative_tolerance = 1e-10;
+  KlNmfResult r = factorize_kl(e, 3, options);
+  const double final_div = kl_divergence(e, linalg::matmul(r.w, r.psi));
+  // Divergence per entry should be tiny for exact-rank data.
+  EXPECT_LT(final_div / static_cast<double>(e.size()), 1e-3);
+}
+
+TEST(KlNmf, DeterministicGivenSeed) {
+  Matrix e = random_nonnegative(12, 8, 5);
+  KlNmfOptions options;
+  options.seed = 99;
+  options.max_iterations = 50;
+  KlNmfResult a = factorize_kl(e, 3, options);
+  KlNmfResult b = factorize_kl(e, 3, options);
+  EXPECT_LT(linalg::frobenius_distance(a.psi, b.psi), 1e-12);
+}
+
+// Lee & Seung's monotonicity theorem holds for the KL updates too.
+struct KlCase {
+  std::uint64_t seed;
+  std::size_t n, m, rank;
+};
+
+class KlMonotonicity : public ::testing::TestWithParam<KlCase> {};
+
+TEST_P(KlMonotonicity, DivergenceNonIncreasing) {
+  const KlCase& c = GetParam();
+  Matrix e = random_nonnegative(c.n, c.m, c.seed);
+  Matrix w = linalg::random_uniform_matrix(c.n, c.rank, c.seed + 1, 0.05, 1.0);
+  Matrix psi =
+      linalg::random_uniform_matrix(c.rank, c.m, c.seed + 2, 0.05, 1.0);
+  double previous = kl_divergence(e, linalg::matmul(w, psi));
+  for (int step = 0; step < 40; ++step) {
+    kl_multiplicative_update(e, w, psi);
+    const double current = kl_divergence(e, linalg::matmul(w, psi));
+    EXPECT_LE(current, previous + 1e-9 * (1.0 + std::abs(previous)))
+        << "divergence increased at step " << step;
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, KlMonotonicity,
+    ::testing::Values(KlCase{1, 10, 8, 2}, KlCase{2, 25, 12, 5},
+                      KlCase{3, 8, 30, 4}, KlCase{4, 30, 30, 8}));
+
+TEST(KlNmf, ObjectiveHistoryRecorded) {
+  Matrix e = random_nonnegative(10, 6, 9);
+  KlNmfResult r = factorize_kl(e, 2);
+  ASSERT_GE(r.objective_history.size(), 2u);
+  EXPECT_LE(r.objective_history.back(), r.objective_history.front());
+}
+
+TEST(KlNmf, ComparableEuclideanQualityToL2Variant) {
+  // Both objectives should reconstruct planted low-rank data well; KL is
+  // not required to beat L2 in Frobenius terms, only to be in the same
+  // ballpark (sanity that the updates actually optimize).
+  Matrix e = planted_rank(30, 12, 4, 21);
+  NmfOptions l2_options;
+  l2_options.max_iterations = 800;
+  const NmfResult l2 = factorize(e, 4, l2_options);
+  KlNmfOptions kl_options;
+  kl_options.max_iterations = 800;
+  const KlNmfResult kl = factorize_kl(e, 4, kl_options);
+  const double l2_err = l2.approximation_accuracy(e);
+  const double kl_err =
+      linalg::frobenius_distance(e, linalg::matmul(kl.w, kl.psi));
+  EXPECT_LT(kl_err, 10.0 * l2_err + 0.5);
+}
+
+}  // namespace
+}  // namespace vn2::nmf

@@ -1,0 +1,221 @@
+#include "nmf/nmf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random.hpp"
+#include "nmf/rank_selection.hpp"
+#include "nmf/sparsify.hpp"
+
+namespace vn2::nmf {
+namespace {
+
+using linalg::Matrix;
+
+Matrix random_nonnegative(std::size_t n, std::size_t m, std::uint64_t seed) {
+  return linalg::random_uniform_matrix(n, m, seed, 0.0, 1.0);
+}
+
+/// A matrix with exact non-negative rank k: product of two random
+/// non-negative factors.
+Matrix planted_rank(std::size_t n, std::size_t m, std::size_t k,
+                    std::uint64_t seed) {
+  return linalg::matmul(random_nonnegative(n, k, seed),
+                        random_nonnegative(k, m, seed + 1));
+}
+
+TEST(Nmf, RejectsBadInput) {
+  EXPECT_THROW(factorize(Matrix{}, 2), std::invalid_argument);
+  EXPECT_THROW(factorize(Matrix{{1, -0.1}, {0, 1}}, 1), std::invalid_argument);
+  EXPECT_THROW(factorize(Matrix{{1, 2}, {3, 4}}, 0), std::invalid_argument);
+  EXPECT_THROW(factorize(Matrix{{1, 2}, {3, 4}}, 3), std::invalid_argument);
+}
+
+TEST(Nmf, FactorsAreNonnegative) {
+  Matrix e = random_nonnegative(20, 10, 42);
+  NmfResult r = factorize(e, 4);
+  EXPECT_TRUE(linalg::is_nonnegative(r.w));
+  EXPECT_TRUE(linalg::is_nonnegative(r.psi));
+  EXPECT_EQ(r.w.rows(), 20u);
+  EXPECT_EQ(r.w.cols(), 4u);
+  EXPECT_EQ(r.psi.rows(), 4u);
+  EXPECT_EQ(r.psi.cols(), 10u);
+}
+
+TEST(Nmf, RecoversPlantedLowRankStructure) {
+  Matrix e = planted_rank(40, 15, 3, 7);
+  NmfOptions options;
+  options.max_iterations = 2000;
+  options.relative_tolerance = 1e-10;
+  NmfResult r = factorize(e, 3, options);
+  // Rank-3 non-negative data should factorize to a small relative error.
+  const double rel = r.approximation_accuracy(e) / linalg::frobenius_norm(e);
+  EXPECT_LT(rel, 0.02);
+}
+
+TEST(Nmf, DeterministicGivenSeed) {
+  Matrix e = random_nonnegative(15, 8, 5);
+  NmfOptions options;
+  options.seed = 99;
+  NmfResult a = factorize(e, 3, options);
+  NmfResult b = factorize(e, 3, options);
+  EXPECT_LT(linalg::frobenius_distance(a.psi, b.psi), 1e-12);
+  options.seed = 100;
+  NmfResult c = factorize(e, 3, options);
+  EXPECT_GT(linalg::frobenius_distance(a.psi, c.psi), 1e-9);
+}
+
+TEST(Nmf, ObjectiveHistoryRecorded) {
+  Matrix e = random_nonnegative(12, 6, 9);
+  NmfResult r = factorize(e, 2);
+  ASSERT_GE(r.objective_history.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.objective_history.back(), r.approximation_accuracy(e));
+}
+
+// Theorem 1 (Lee & Seung): the Euclidean objective is non-increasing under
+// the multiplicative updates — checked step by step over many random
+// problems and ranks.
+struct TheoremCase {
+  std::uint64_t seed;
+  std::size_t n, m, rank;
+};
+
+class Theorem1Property : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(Theorem1Property, ObjectiveMonotoneNonIncreasing) {
+  const TheoremCase& c = GetParam();
+  Matrix e = random_nonnegative(c.n, c.m, c.seed);
+  Matrix w = linalg::random_uniform_matrix(c.n, c.rank, c.seed + 1, 0.05, 1.0);
+  Matrix psi =
+      linalg::random_uniform_matrix(c.rank, c.m, c.seed + 2, 0.05, 1.0);
+  double previous = approximation_accuracy(e, w, psi);
+  for (int step = 0; step < 50; ++step) {
+    multiplicative_update(e, w, psi);
+    const double current = approximation_accuracy(e, w, psi);
+    EXPECT_LE(current, previous + 1e-9 * (1.0 + previous))
+        << "objective increased at step " << step;
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Theorem1Property,
+    ::testing::Values(TheoremCase{1, 10, 8, 2}, TheoremCase{2, 25, 12, 5},
+                      TheoremCase{3, 8, 30, 4}, TheoremCase{4, 40, 40, 10},
+                      TheoremCase{5, 6, 6, 6}, TheoremCase{6, 50, 9, 3}));
+
+// Accuracy improves (weakly) with rank on the same data.
+TEST(Nmf, AccuracyImprovesWithRank) {
+  Matrix e = random_nonnegative(30, 20, 77);
+  NmfOptions options;
+  options.max_iterations = 800;
+  double previous = 1e300;
+  for (std::size_t rank : {2u, 5u, 10u, 15u}) {
+    options.seed = 1000 + rank;
+    NmfResult r = factorize(e, rank, options);
+    const double alpha = r.approximation_accuracy(e);
+    // Allow slack: NMF is non-convex, different ranks land in different
+    // local minima; the trend must still be strongly downward.
+    EXPECT_LT(alpha, previous * 1.05);
+    previous = alpha;
+  }
+}
+
+TEST(Sparsify, RejectsBadFraction) {
+  Matrix w = random_nonnegative(4, 4, 1);
+  SparsifyOptions options;
+  options.retained_mass = 0.0;
+  EXPECT_THROW(sparsify(w, options), std::invalid_argument);
+  options.retained_mass = 1.5;
+  EXPECT_THROW(sparsify(w, options), std::invalid_argument);
+}
+
+TEST(Sparsify, RetainsRequestedMass) {
+  Matrix w = random_nonnegative(20, 10, 3);
+  SparsifyResult r = sparsify(w);
+  EXPECT_GE(r.retained_fraction, 0.9);
+  EXPECT_LE(r.kept_entries, w.size());
+  EXPECT_GT(r.kept_entries, 0u);
+}
+
+TEST(Sparsify, KeepsLargestEntries) {
+  Matrix w{{10.0, 0.1, 0.1}, {0.1, 10.0, 0.1}};
+  SparsifyOptions options;
+  options.retained_mass = 0.9;
+  options.normalize_rows = false;
+  SparsifyResult r = sparsify(w, options);
+  EXPECT_DOUBLE_EQ(r.w_sparse(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(r.w_sparse(1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(r.w_sparse(0, 1), 0.0);
+}
+
+TEST(Sparsify, FullMassKeepsEverythingNonzero) {
+  Matrix w = random_nonnegative(5, 5, 4);
+  SparsifyOptions options;
+  options.retained_mass = 1.0;
+  SparsifyResult r = sparsify(w, options);
+  EXPECT_EQ(r.kept_entries, w.size());
+  EXPECT_EQ(r.w_sparse, w);
+}
+
+TEST(Sparsify, SparseReconstructionIsWorseButClose) {
+  Matrix e = planted_rank(30, 12, 4, 21);
+  NmfResult model = factorize(e, 4);
+  SparsifyResult sparse = sparsify(model.w);
+  const double dense_alpha = approximation_accuracy(e, model.w, model.psi);
+  const double sparse_alpha =
+      approximation_accuracy(e, sparse.w_sparse, model.psi);
+  EXPECT_GE(sparse_alpha, dense_alpha - 1e-9);  // Pruning cannot help.
+  // ...but retains most reconstruction power relative to the data scale.
+  EXPECT_LT(sparse_alpha, 0.25 * linalg::frobenius_norm(e));
+}
+
+TEST(Sparsify, MeanActiveCauses) {
+  Matrix w(4, 5, 0.0);
+  w(0, 0) = 1.0;
+  w(1, 1) = 1.0;
+  w(1, 2) = 1.0;
+  EXPECT_DOUBLE_EQ(mean_active_causes(w), 0.75);
+  EXPECT_DOUBLE_EQ(mean_active_causes(Matrix{}), 0.0);
+}
+
+TEST(RankSelection, SweepSkipsInfeasibleRanks) {
+  Matrix e = random_nonnegative(10, 6, 2);
+  auto sweep = rank_sweep(e, {0, 2, 4, 6, 50});
+  ASSERT_EQ(sweep.size(), 3u);  // 0 and 50 skipped.
+  EXPECT_EQ(sweep[0].rank, 2u);
+  EXPECT_EQ(sweep[2].rank, 6u);
+}
+
+TEST(RankSelection, SparseAccuracyNeverBetter) {
+  Matrix e = random_nonnegative(40, 20, 13);
+  auto sweep = rank_sweep(e, {2, 5, 10, 15, 20});
+  for (const RankPoint& p : sweep)
+    EXPECT_GE(p.accuracy_sparse, p.accuracy_original - 1e-9);
+}
+
+TEST(RankSelection, ChooseRankRejectsEmpty) {
+  EXPECT_THROW(choose_rank({}), std::invalid_argument);
+}
+
+TEST(RankSelection, SingleCandidate) {
+  RankPoint p;
+  p.rank = 7;
+  EXPECT_EQ(choose_rank({p}).rank, 7u);
+}
+
+TEST(RankSelection, ChoosesKneeOnPlantedData) {
+  // Data with true non-negative rank 5: improvement should flatten past 5,
+  // so the chosen rank must be in a small neighborhood of the truth.
+  Matrix e = planted_rank(60, 25, 5, 3);
+  RankSweepOptions options;
+  options.nmf.max_iterations = 600;
+  auto sweep = rank_sweep(e, {2, 3, 4, 5, 6, 8, 10, 14, 18, 22}, options);
+  const RankChoice choice = choose_rank(sweep);
+  EXPECT_GE(choice.rank, 4u);
+  EXPECT_LE(choice.rank, 10u);
+}
+
+}  // namespace
+}  // namespace vn2::nmf

@@ -1,0 +1,130 @@
+#include "linalg/nnls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random.hpp"
+
+namespace vn2::linalg {
+namespace {
+
+TEST(Nnls, ExactNonnegativeSolution) {
+  // A well-conditioned system whose unconstrained solution is non-negative:
+  // NNLS must recover it exactly.
+  Matrix a{{2, 0}, {0, 3}, {0, 0}};
+  Vector b{4.0, 9.0, 0.0};
+  NnlsResult r = nnls(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-9);
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-9);
+}
+
+TEST(Nnls, ClampsNegativeCoordinates) {
+  // Unconstrained LS would need a negative coefficient on the second column;
+  // NNLS must zero it.
+  Matrix a{{1, 1}, {0, 1}};
+  Vector b{1.0, -5.0};
+  NnlsResult r = nnls(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.x[0], 0.0);
+  EXPECT_GE(r.x[1], 0.0);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-9);
+}
+
+TEST(Nnls, ZeroRhsGivesZeroSolution) {
+  Matrix a = random_uniform_matrix(5, 3, 1);
+  NnlsResult r = nnls(a, Vector(5, 0.0));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(r.x[i], 0.0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Nnls, ShapeMismatchThrows) {
+  EXPECT_THROW(nnls(Matrix(3, 2), Vector(4)), std::invalid_argument);
+  EXPECT_THROW(nnls_projected_gradient(Matrix(3, 2), Vector(4)),
+               std::invalid_argument);
+}
+
+TEST(Nnls, WideSystem) {
+  // More unknowns than equations: solution exists with zero residual.
+  Matrix a = random_uniform_matrix(3, 8, 7, 0.1, 1.0);
+  Vector truth = random_uniform_vector(8, 8, 0.0, 1.0);
+  Vector b = matvec(a, truth);
+  NnlsResult r = nnls(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-6);
+}
+
+// KKT optimality: at the NNLS solution, the gradient g = Aᵀ(Ax − b)
+// satisfies g_i ≥ −tol for all i, and g_i ≈ 0 where x_i > 0.
+void expect_kkt(const Matrix& a, const Vector& b, const NnlsResult& r,
+                double tol = 1e-6) {
+  Vector residual = matvec(a, r.x);
+  residual -= b;
+  const Matrix at = transpose(a);
+  Vector grad = matvec(at, residual);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_GE(grad[i], -tol) << "dual feasibility violated at " << i;
+    if (r.x[i] > 1e-8)
+      EXPECT_NEAR(grad[i], 0.0, tol) << "complementarity violated at " << i;
+  }
+}
+
+class NnlsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NnlsProperty, KktConditionsHold) {
+  const std::uint64_t seed = GetParam();
+  Matrix a = random_uniform_matrix(20, 8, seed, -1.0, 1.0);
+  Vector b = random_uniform_vector(20, seed + 77, -1.0, 1.0);
+  NnlsResult r = nnls(a, b);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < r.x.size(); ++i) EXPECT_GE(r.x[i], 0.0);
+  expect_kkt(a, b, r);
+}
+
+TEST_P(NnlsProperty, RecoverSparseNonnegativeTruth) {
+  const std::uint64_t seed = GetParam();
+  Matrix a = random_uniform_matrix(30, 10, seed, 0.0, 1.0);
+  Vector truth(10, 0.0);
+  truth[seed % 10] = 2.0;
+  truth[(seed + 3) % 10] = 0.7;
+  Vector b = matvec(a, truth);
+  NnlsResult r = nnls(a, b);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-6);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(r.x[i], truth[i], 1e-5);
+}
+
+TEST_P(NnlsProperty, ActiveSetMatchesProjectedGradient) {
+  const std::uint64_t seed = GetParam();
+  Matrix a = random_uniform_matrix(25, 6, seed, -1.0, 1.0);
+  Vector b = random_uniform_vector(25, seed + 13, -1.0, 1.0);
+  NnlsResult exact = nnls(a, b);
+  ProjectedGradientOptions pg;
+  pg.max_iterations = 50000;
+  pg.step_tolerance = 1e-12;
+  NnlsResult approx = nnls_projected_gradient(a, b, pg);
+  // Both should land on (nearly) the same objective value.
+  EXPECT_NEAR(exact.residual_norm, approx.residual_norm,
+              1e-4 * (1.0 + exact.residual_norm));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnlsProperty,
+                         ::testing::Values(1, 2, 5, 11, 42, 101, 7777));
+
+TEST(ProjectedGradient, NonnegativeIterates) {
+  Matrix a = random_uniform_matrix(15, 5, 3, -1.0, 1.0);
+  Vector b = random_uniform_vector(15, 4, -1.0, 1.0);
+  NnlsResult r = nnls_projected_gradient(a, b);
+  for (std::size_t i = 0; i < r.x.size(); ++i) EXPECT_GE(r.x[i], 0.0);
+}
+
+TEST(ProjectedGradient, ZeroMatrix) {
+  NnlsResult r = nnls_projected_gradient(Matrix(4, 3, 0.0), Vector(4, 1.0));
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(r.x[i], 0.0);
+}
+
+}  // namespace
+}  // namespace vn2::linalg

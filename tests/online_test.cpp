@@ -1,0 +1,111 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+#include "test_helpers.hpp"
+
+namespace vn2::core {
+namespace {
+
+std::vector<trace::StateVector> synthetic_states(std::size_t n,
+                                                 std::uint64_t seed) {
+  auto synthetic =
+      vn2::testing::make_synthetic(vn2::testing::standard_causes(), n, seed);
+  std::vector<trace::StateVector> states(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    states[i].node = 1;
+    states[i].time = static_cast<double>(i) * 60.0;
+    states[i].delta = synthetic.states.row_vector(i);
+  }
+  return states;
+}
+
+OnlineTrainerOptions small_options() {
+  OnlineTrainerOptions options;
+  options.window_capacity = 400;
+  options.retrain_every = 100;
+  options.min_states = 150;
+  options.tool.training.rank = 5;
+  options.tool.training.nmf.max_iterations = 100;
+  return options;
+}
+
+TEST(OnlineTrainer, RejectsZeroCapacity) {
+  OnlineTrainerOptions options;
+  options.window_capacity = 0;
+  EXPECT_THROW(OnlineTrainer trainer(options), std::invalid_argument);
+}
+
+TEST(OnlineTrainer, NotReadyUntilMinStates) {
+  OnlineTrainer trainer(small_options());
+  EXPECT_FALSE(trainer.ready());
+  EXPECT_THROW((void)trainer.tool(), std::logic_error);
+  const auto states = synthetic_states(149, 1);
+  EXPECT_EQ(trainer.push(states), 0u);
+  EXPECT_FALSE(trainer.ready());
+}
+
+TEST(OnlineTrainer, FirstTrainingAtMinStates) {
+  OnlineTrainer trainer(small_options());
+  const auto states = synthetic_states(150, 2);
+  EXPECT_EQ(trainer.push(states), 1u);
+  EXPECT_TRUE(trainer.ready());
+  EXPECT_EQ(trainer.retrain_count(), 1u);
+  EXPECT_EQ(trainer.tool().model().rank(), 5u);
+}
+
+TEST(OnlineTrainer, RetrainsOnCadence) {
+  OnlineTrainer trainer(small_options());
+  const auto states = synthetic_states(450, 3);
+  const std::size_t retrains = trainer.push(states);
+  // First at 150, then every 100: 250, 350, 450 → 4 total.
+  EXPECT_EQ(retrains, 4u);
+  EXPECT_EQ(trainer.retrain_count(), 4u);
+}
+
+TEST(OnlineTrainer, WindowIsBounded) {
+  OnlineTrainer trainer(small_options());
+  trainer.push(synthetic_states(1000, 4));
+  EXPECT_EQ(trainer.window_size(), 400u);
+}
+
+TEST(OnlineTrainer, ModelTracksDrift) {
+  // Phase 1: metrics drift slowly around one distribution. Phase 2: the
+  // "normal" shifts (e.g. seasonal temperature swing). After retraining on
+  // the new window, a typical phase-2 state must no longer look like an
+  // exception.
+  OnlineTrainerOptions options = small_options();
+  options.window_capacity = 300;
+  options.retrain_every = 300;
+  OnlineTrainer trainer(options);
+
+  auto phase1 = synthetic_states(300, 5);
+  trainer.push(phase1);
+  ASSERT_TRUE(trainer.ready());
+
+  auto phase2 = synthetic_states(300, 6);
+  for (auto& state : phase2)
+    for (std::size_t m = 0; m < 6; ++m) state.delta[m] += 25.0;  // Shifted C1.
+
+  // Against the stale model, shifted states look anomalous.
+  const double stale_score =
+      trainer.tool().model().exception_score(phase2.front().delta);
+
+  trainer.push(phase2);  // Window now holds mostly phase-2 states.
+  trainer.retrain();
+  const double fresh_score =
+      trainer.tool().model().exception_score(phase2.front().delta);
+  EXPECT_LT(fresh_score, 0.5 * stale_score);
+}
+
+TEST(OnlineTrainer, ForcedRetrainRequiresMinStates) {
+  OnlineTrainer trainer(small_options());
+  trainer.push(synthetic_states(100, 7));
+  EXPECT_FALSE(trainer.retrain());
+  trainer.push(synthetic_states(100, 8));
+  EXPECT_TRUE(trainer.retrain());
+}
+
+}  // namespace
+}  // namespace vn2::core

@@ -1,0 +1,86 @@
+#include "linalg/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random.hpp"
+
+namespace vn2::linalg {
+namespace {
+
+TEST(Pca, RejectsBadRank) {
+  Matrix data = random_uniform_matrix(10, 4, 1);
+  EXPECT_THROW(pca(data, 0), std::invalid_argument);
+  EXPECT_THROW(pca(data, 5), std::invalid_argument);
+}
+
+TEST(Pca, FullRankReconstructsExactly) {
+  Matrix data = random_uniform_matrix(12, 4, 3, -1.0, 1.0);
+  PcaResult model = pca(data, 4);
+  Matrix rec = pca_reconstruct(model);
+  EXPECT_LT(frobenius_distance(data, rec), 1e-6);
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  Matrix data = random_uniform_matrix(30, 6, 5, -2.0, 2.0);
+  PcaResult model = pca(data, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i; j < 3; ++j) {
+      const double d =
+          dot(model.components.row_vector(i), model.components.row_vector(j));
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(Pca, ExplainedVarianceDecreases) {
+  Matrix data = random_uniform_matrix(50, 8, 9, -1.0, 1.0);
+  // Plant a dominant direction.
+  for (std::size_t i = 0; i < data.rows(); ++i)
+    data(i, 0) += 10.0 * data(i, 1);
+  PcaResult model = pca(data, 4);
+  for (std::size_t c = 1; c < 4; ++c)
+    EXPECT_GE(model.explained[c - 1], model.explained[c] - 1e-9);
+}
+
+TEST(Pca, RecoversPlantedDirection) {
+  // Rank-1 data plus tiny noise: first component must align with the plant.
+  const std::size_t n = 40, m = 6;
+  Matrix data(n, m);
+  Vector direction{1.0, -1.0, 2.0, 0.0, 0.5, -0.25};
+  direction *= 1.0 / norm2(direction);
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> coeff(-3.0, 3.0);
+  std::uniform_real_distribution<double> noise(-0.01, 0.01);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = coeff(rng);
+    for (std::size_t j = 0; j < m; ++j)
+      data(i, j) = t * direction[j] + noise(rng);
+  }
+  PcaResult model = pca(data, 1);
+  const Vector found = model.components.row_vector(0);
+  const double alignment = std::abs(dot(found, direction));
+  EXPECT_GT(alignment, 0.999);
+}
+
+TEST(Pca, ReconstructionErrorDecreasesWithRank) {
+  Matrix data = random_uniform_matrix(40, 10, 21, -1.0, 1.0);
+  double previous = 1e300;
+  for (std::size_t k : {1u, 3u, 5u, 8u, 10u}) {
+    PcaResult model = pca(data, k);
+    const double err = frobenius_distance(data, pca_reconstruct(model));
+    EXPECT_LE(err, previous + 1e-9);
+    previous = err;
+  }
+}
+
+TEST(Pca, DeterministicAcrossRuns) {
+  Matrix data = random_uniform_matrix(20, 5, 31, -1.0, 1.0);
+  PcaResult a = pca(data, 2);
+  PcaResult b = pca(data, 2);
+  EXPECT_LT(frobenius_distance(a.components, b.components), 1e-12);
+}
+
+}  // namespace
+}  // namespace vn2::linalg

@@ -1,0 +1,134 @@
+#include "core/performance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/vn2.hpp"
+#include "scenario/scenario.hpp"
+
+namespace vn2::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(PrrEstimator, RejectsBadInput) {
+  EXPECT_THROW(PrrEstimator::fit(Matrix(3, 2), Vector(4)),
+               std::invalid_argument);
+  EXPECT_THROW(PrrEstimator::fit(Matrix(1, 2), Vector(1)),
+               std::invalid_argument);
+  EXPECT_THROW(PrrEstimator::fit(Matrix(3, 2), Vector(3), -1.0),
+               std::invalid_argument);
+  PrrEstimator unfitted;
+  EXPECT_FALSE(unfitted.fitted());
+  EXPECT_THROW((void)unfitted.predict(Vector(2)), std::logic_error);
+}
+
+TEST(PrrEstimator, RecoversLinearRelation) {
+  // PRR = 0.9 − 0.1·x0 − 0.05·x1 + noise.
+  const std::size_t k = 200;
+  Matrix profiles(k, 3);
+  Vector prr(k);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> x(0.0, 2.0);
+  std::normal_distribution<double> noise(0.0, 0.005);
+  for (std::size_t i = 0; i < k; ++i) {
+    profiles(i, 0) = x(rng);
+    profiles(i, 1) = x(rng);
+    profiles(i, 2) = x(rng);  // Irrelevant feature.
+    prr[i] = 0.9 - 0.1 * profiles(i, 0) - 0.05 * profiles(i, 1) + noise(rng);
+  }
+  PrrEstimator estimator = PrrEstimator::fit(profiles, prr, 1e-6);
+  EXPECT_NEAR(estimator.coefficients()[0], -0.1, 0.01);
+  EXPECT_NEAR(estimator.coefficients()[1], -0.05, 0.01);
+  EXPECT_NEAR(estimator.coefficients()[2], 0.0, 0.01);
+  EXPECT_GT(estimator.r_squared(profiles, prr), 0.95);
+}
+
+TEST(PrrEstimator, PredictionsClampedToUnitInterval) {
+  Matrix profiles{{0.0}, {1.0}};
+  Vector prr{0.9, 0.1};
+  PrrEstimator estimator = PrrEstimator::fit(profiles, prr, 1e-9);
+  Vector extreme(1);
+  extreme[0] = 100.0;
+  EXPECT_GE(estimator.predict(extreme), 0.0);
+  extreme[0] = -100.0;
+  EXPECT_LE(estimator.predict(extreme), 1.0);
+}
+
+TEST(PrrEstimator, RidgeShrinksCoefficients) {
+  Matrix profiles(50, 2);
+  Vector prr(50);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> x(0.0, 1.0);
+  for (std::size_t i = 0; i < 50; ++i) {
+    profiles(i, 0) = x(rng);
+    profiles(i, 1) = x(rng);
+    prr[i] = 0.5 + 0.3 * profiles(i, 0);
+  }
+  const PrrEstimator light = PrrEstimator::fit(profiles, prr, 1e-9);
+  const PrrEstimator heavy = PrrEstimator::fit(profiles, prr, 10.0);
+  EXPECT_LT(std::abs(heavy.coefficients()[0]),
+            std::abs(light.coefficients()[0]));
+}
+
+TEST(PrrEstimator, RSquaredOfConstantTarget) {
+  Matrix profiles{{0.0}, {1.0}, {2.0}};
+  Vector prr{0.5, 0.5, 0.5};
+  PrrEstimator estimator = PrrEstimator::fit(profiles, prr);
+  EXPECT_DOUBLE_EQ(estimator.r_squared(profiles, prr), 1.0);
+}
+
+TEST(PerformanceDataset, BuildsAndPredictsOnSimulatedTrace) {
+  // A network with a mid-run jam: windows during the jam have lower PRR and
+  // different strength profiles; the estimator should explain a meaningful
+  // part of the variance in-sample.
+  scenario::ScenarioBundle bundle = scenario::tiny(16, 4.0 * 3600.0, 5, 18.0);
+  wsn::FaultCommand jam;
+  jam.type = wsn::FaultCommand::Type::kJammer;
+  jam.center = {30.0, 40.0};
+  jam.radius_m = 80.0;
+  jam.start = 5400.0;
+  jam.end = 9000.0;
+  jam.magnitude = 0.5;
+  bundle.faults.push_back(jam);
+
+  wsn::Simulator sim = bundle.make_simulator();
+  const wsn::SimulationResult result = sim.run();
+  const trace::Trace log = trace::build_trace(result);
+  auto states = trace::extract_states(log);
+  std::erase_if(states,
+                [](const trace::StateVector& s) { return s.time < 600.0; });
+
+  Vn2Tool::Options options;
+  options.training.rank = 8;
+  options.training.skip_exception_extraction = true;
+  Vn2Tool tool = Vn2Tool::train_from_states(states, options);
+
+  const PerformanceDataset dataset =
+      build_performance_dataset(result, states, tool.model(), 900.0);
+  ASSERT_GE(dataset.profiles.rows(), 8u);
+  ASSERT_EQ(dataset.profiles.rows(), dataset.prr.size());
+  for (std::size_t i = 0; i < dataset.prr.size(); ++i) {
+    EXPECT_GE(dataset.prr[i], 0.0);
+    // Receptions are binned by arrival time, originations by send time, so
+    // multi-hop latency can spill a few packets across a window boundary
+    // and nudge a window's ratio just past 1.
+    EXPECT_LE(dataset.prr[i], 1.1);
+  }
+
+  const PrrEstimator estimator =
+      PrrEstimator::fit(dataset.profiles, dataset.prr, 1e-2);
+  EXPECT_GT(estimator.r_squared(dataset.profiles, dataset.prr), 0.3);
+}
+
+TEST(PerformanceDataset, RejectsBadArgs) {
+  wsn::SimulationResult result;
+  std::vector<trace::StateVector> states;
+  EXPECT_THROW(build_performance_dataset(result, states, Vn2Model{}, 100.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vn2::core

@@ -1,0 +1,112 @@
+#include "wsn/radio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vn2::wsn {
+namespace {
+
+class RadioTest : public ::testing::Test {
+ protected:
+  Environment env_;
+  RadioModel radio_{RadioParams{}, &env_, 42};
+};
+
+TEST_F(RadioTest, RssiDecreasesWithDistance) {
+  const Position origin{0, 0};
+  double previous = 1e9;
+  for (double d : {1.0, 5.0, 10.0, 20.0, 40.0}) {
+    // Same link endpoints id-wise so shadowing is constant: vary only the
+    // position of node 2.
+    const double rssi = radio_.rssi_dbm(1, origin, 2, {d, 0.0});
+    EXPECT_LT(rssi, previous);
+    previous = rssi;
+  }
+}
+
+TEST_F(RadioTest, ShadowingIsSymmetricAndStable) {
+  const Position a{0, 0}, b{15, 0};
+  const double ab = radio_.rssi_dbm(1, a, 2, b);
+  const double ba = radio_.rssi_dbm(2, b, 1, a);
+  EXPECT_DOUBLE_EQ(ab, ba);  // Unordered link key → symmetric fade.
+  EXPECT_DOUBLE_EQ(ab, radio_.rssi_dbm(1, a, 2, b));  // Stable over calls.
+}
+
+TEST_F(RadioTest, DifferentLinksDifferentShadowing) {
+  const Position a{0, 0}, b{15, 0};
+  const double l12 = radio_.rssi_dbm(1, a, 2, b);
+  const double l13 = radio_.rssi_dbm(1, a, 3, b);
+  EXPECT_NE(l12, l13);
+}
+
+TEST_F(RadioTest, PrrMonotoneInDistance) {
+  const Position origin{0, 0};
+  double previous = 1.1;
+  for (double d : {2.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
+    const double prr = radio_.prr(1, origin, 2, {d, 0.0}, 0.0);
+    EXPECT_LE(prr, previous + 1e-12);
+    EXPECT_GE(prr, 0.0);
+    EXPECT_LE(prr, 1.0);
+    previous = prr;
+  }
+}
+
+TEST_F(RadioTest, CloseLinkIsNearPerfect) {
+  EXPECT_GT(radio_.prr(1, {0, 0}, 2, {2.0, 0.0}, 0.0), 0.95);
+}
+
+TEST_F(RadioTest, VeryFarLinkIsDead) {
+  EXPECT_LT(radio_.prr(1, {0, 0}, 2, {500.0, 0.0}, 0.0), 0.05);
+  EXPECT_FALSE(radio_.in_range(1, {0, 0}, 2, {500.0, 0.0}));
+  EXPECT_TRUE(radio_.in_range(1, {0, 0}, 2, {5.0, 0.0}));
+}
+
+TEST_F(RadioTest, NoiseRiseDegradesPrr) {
+  const Position rx{10.0, 0.0};
+  const double before = radio_.prr(1, {0, 0}, 2, rx, 50.0);
+  Disturbance d;
+  d.kind = Disturbance::Kind::kNoiseRise;
+  d.center = rx;
+  d.radius_m = 30.0;
+  d.start = 100.0;
+  d.end = 200.0;
+  d.magnitude = 15.0;
+  env_.add_disturbance(d);
+  const double during = radio_.prr(1, {0, 0}, 2, rx, 150.0);
+  const double after = radio_.prr(1, {0, 0}, 2, rx, 250.0);
+  EXPECT_LT(during, before);
+  EXPECT_NEAR(after, before, 1e-12);
+}
+
+TEST_F(RadioTest, LinkDegradationWindowed) {
+  const Position rx{8.0, 0.0};
+  const double base = radio_.prr(1, {0, 0}, 2, rx, 0.0);
+  radio_.degrade_link(1, 2, 20.0, 100.0, 200.0);
+  EXPECT_LT(radio_.prr(1, {0, 0}, 2, rx, 150.0), base);
+  EXPECT_NEAR(radio_.prr(1, {0, 0}, 2, rx, 300.0), base, 1e-12);
+  // Degradation applies to the unordered link — both directions.
+  EXPECT_LT(radio_.prr(2, rx, 1, {0, 0}, 150.0), 1.0);
+  radio_.clear_degradations();
+  EXPECT_NEAR(radio_.prr(1, {0, 0}, 2, rx, 150.0), base, 1e-12);
+}
+
+TEST_F(RadioTest, StackedDegradationsAccumulate) {
+  const Position rx{8.0, 0.0};
+  radio_.degrade_link(1, 2, 10.0, 0.0, 100.0);
+  radio_.degrade_link(1, 2, 10.0, 0.0, 100.0);
+  const double doubled = radio_.prr(1, {0, 0}, 2, rx, 50.0);
+  radio_.clear_degradations();
+  radio_.degrade_link(1, 2, 20.0, 0.0, 100.0);
+  const double single20 = radio_.prr(1, {0, 0}, 2, rx, 50.0);
+  EXPECT_NEAR(doubled, single20, 1e-12);
+}
+
+TEST(RadioSeeds, DifferentSeedsDifferentFades) {
+  Environment env;
+  RadioModel r1(RadioParams{}, &env, 1);
+  RadioModel r2(RadioParams{}, &env, 2);
+  EXPECT_NE(r1.rssi_dbm(1, {0, 0}, 2, {10, 0}),
+            r2.rssi_dbm(1, {0, 0}, 2, {10, 0}));
+}
+
+}  // namespace
+}  // namespace vn2::wsn

@@ -1,0 +1,153 @@
+// Failure-injection and edge-condition tests across module boundaries:
+// malformed persisted data, degenerate configurations, and empty inputs
+// must fail loudly (typed exceptions) or behave sanely — never crash.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/evaluation.hpp"
+#include "core/vn2.hpp"
+#include "scenario/scenario.hpp"
+#include "trace/csv.hpp"
+#include "trace/stats.hpp"
+
+namespace vn2 {
+namespace {
+
+TEST(CsvRobustness, MalformedRowsThrow) {
+  // Header OK, row with a non-numeric field.
+  std::ostringstream header;
+  header << "node,epoch,time";
+  for (metrics::MetricId id : metrics::all_metrics())
+    header << ',' << metrics::name(id);
+  header << "\n1,0,0";
+  for (std::size_t i = 0; i < metrics::kMetricCount - 1; ++i) header << ",0";
+  header << ",abc\n";
+  std::istringstream bad(header.str());
+  EXPECT_THROW(trace::read_trace_csv(bad), std::runtime_error);
+}
+
+TEST(CsvRobustness, ShortRowThrows) {
+  std::ostringstream buffer;
+  buffer << "node,epoch,time";
+  for (metrics::MetricId id : metrics::all_metrics())
+    buffer << ',' << metrics::name(id);
+  buffer << "\n1,0,0,1,2\n";  // Far too few columns.
+  std::istringstream bad(buffer.str());
+  EXPECT_THROW(trace::read_trace_csv(bad), std::runtime_error);
+}
+
+TEST(CsvRobustness, BlankLinesIgnored) {
+  scenario::ScenarioBundle bundle = scenario::tiny(6, 600.0, 2);
+  const trace::Trace log = trace::build_trace(bundle.make_simulator().run());
+  std::stringstream buffer;
+  trace::write_trace_csv(buffer, log);
+  std::string text = buffer.str() + "\n\n";
+  std::istringstream padded(text);
+  EXPECT_EQ(trace::read_trace_csv(padded).total_snapshots(),
+            log.total_snapshots());
+}
+
+TEST(TraceRobustness, EmptySimulationResult) {
+  wsn::SimulationResult empty;
+  const trace::Trace log = trace::build_trace(empty);
+  EXPECT_TRUE(log.nodes.empty());
+  EXPECT_TRUE(trace::extract_states(log).empty());
+  EXPECT_DOUBLE_EQ(trace::overall_prr(empty), 1.0);
+  const trace::NetworkStats stats = trace::compute_stats(empty, log);
+  EXPECT_EQ(stats.reporting_nodes, 0u);
+}
+
+TEST(TraceRobustness, CorruptBlockSizeIsSkipped) {
+  wsn::SimulationResult result;
+  result.node_count = 2;
+  wsn::SinkPacketRecord record;
+  record.origin = 1;
+  record.epoch = 0;
+  record.type = metrics::PacketType::kC1;
+  record.values.assign(3, 1.0);  // C1 needs 6 values.
+  result.sink_log.push_back(record);
+  const trace::Trace log = trace::build_trace(result);
+  EXPECT_EQ(log.total_snapshots(), 0u);
+}
+
+TEST(EvaluationRobustness, ExactMatchingModeIsStricter) {
+  std::vector<wsn::InjectedFault> truth(1);
+  truth[0].hazard = metrics::HazardEvent::kContention;
+  truth[0].command.start = 100.0;
+  truth[0].command.end = 200.0;
+  std::vector<core::HazardPrediction> predictions = {
+      {150.0, 1, metrics::HazardEvent::kRisingNoise, 1.0}};
+  core::EvalOptions by_class;
+  EXPECT_DOUBLE_EQ(core::evaluate(predictions, truth, by_class).macro_recall,
+                   1.0);  // Same HazardClass (link).
+  core::EvalOptions exact;
+  exact.match_by_class = false;
+  EXPECT_DOUBLE_EQ(core::evaluate(predictions, truth, exact).macro_recall,
+                   0.0);
+}
+
+TEST(ScenarioRobustness, DegenerateParamsThrowOrClamp) {
+  scenario::CityseeParams params;
+  params.node_count = 1;
+  EXPECT_THROW(scenario::citysee_field(params), std::invalid_argument);
+  // A 2-node "deployment" is the legal minimum.
+  params.node_count = 2;
+  params.days = 0.01;
+  EXPECT_NO_THROW(scenario::citysee_field(params));
+}
+
+TEST(SimulatorRobustness, ZeroDurationRunIsEmptyButValid) {
+  scenario::ScenarioBundle bundle = scenario::tiny(6, 600.0, 2);
+  bundle.config.duration = 0.0;
+  const wsn::SimulationResult result = bundle.make_simulator().run();
+  EXPECT_TRUE(result.sink_log.empty());
+  EXPECT_TRUE(result.originations.empty());
+}
+
+TEST(SimulatorRobustness, FaultOnBoundaryNodeIds) {
+  scenario::ScenarioBundle bundle = scenario::tiny(6, 900.0, 2);
+  const auto last =
+      static_cast<wsn::NodeId>(bundle.config.positions.size() - 1);
+  wsn::FaultCommand fail;
+  fail.type = wsn::FaultCommand::Type::kNodeFailure;
+  fail.node = last;
+  fail.start = 300.0;
+  bundle.faults.push_back(fail);
+  wsn::FaultCommand reboot = fail;
+  reboot.type = wsn::FaultCommand::Type::kNodeReboot;
+  reboot.start = 600.0;
+  bundle.faults.push_back(reboot);
+  wsn::Simulator sim = bundle.make_simulator();
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_TRUE(sim.node(last).alive());
+}
+
+TEST(ModelRobustness, TruncatedModelFileThrows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vn2_truncated.txt").string();
+  {
+    std::ofstream file(path);
+    file << "VN2MODEL 2\n1.0 0.3\n5 86\n0.1 0.2\n";  // Truncated matrix.
+  }
+  EXPECT_THROW(core::Vn2Model::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ToolRobustness, TooFewStatesForRankThrows) {
+  std::vector<trace::StateVector> states(3);
+  for (auto& state : states) {
+    state.delta = linalg::Vector(metrics::kMetricCount);
+    state.delta[0] = 1.0;
+  }
+  core::Vn2Tool::Options options;
+  options.training.rank = 10;
+  options.training.skip_exception_extraction = true;
+  EXPECT_THROW(core::Vn2Tool::train_from_states(states, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vn2

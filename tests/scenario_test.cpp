@@ -1,0 +1,167 @@
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace vn2::scenario {
+namespace {
+
+TEST(Citysee, LayoutMatchesParams) {
+  CityseeParams params;
+  params.node_count = 50;
+  params.area_m = 200.0;
+  params.days = 0.5;
+  ScenarioBundle bundle = citysee_field(params);
+  EXPECT_EQ(bundle.config.positions.size(), 50u);
+  EXPECT_DOUBLE_EQ(bundle.config.duration, 0.5 * 86400.0);
+  EXPECT_DOUBLE_EQ(bundle.config.report_period, 600.0);
+  for (const wsn::Position& p : bundle.config.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 200.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 200.0);
+  }
+  // Sink at the center.
+  EXPECT_NEAR(bundle.config.positions[0].x, 100.0, 1e-9);
+}
+
+TEST(Citysee, DefaultMatchesPaperScale) {
+  ScenarioBundle bundle = citysee_field();
+  EXPECT_EQ(bundle.config.positions.size(), 286u);
+  EXPECT_DOUBLE_EQ(bundle.config.duration, 7.0 * 86400.0);
+}
+
+TEST(Citysee, BackgroundHazardsPresentAndReproducible) {
+  CityseeParams params;
+  params.node_count = 40;
+  params.days = 2.0;
+  ScenarioBundle a = citysee_field(params);
+  ScenarioBundle b = citysee_field(params);
+  EXPECT_FALSE(a.faults.empty());
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].type, b.faults[i].type);
+    EXPECT_DOUBLE_EQ(a.faults[i].start, b.faults[i].start);
+  }
+  params.background_hazards = false;
+  EXPECT_TRUE(citysee_field(params).faults.empty());
+}
+
+TEST(Citysee, EpisodeFaultsInsideWindow) {
+  CityseeEpisodeParams params;
+  params.base.node_count = 40;
+  params.base.days = 13.0;
+  params.base.background_hazards = false;
+  ScenarioBundle bundle = citysee_with_episode(params);
+  ASSERT_EQ(bundle.faults.size(),
+            params.loops + params.jammers + params.congestion_bursts +
+                2 * params.node_failures);  // Failures plus their repairs.
+  const double start = 6.0 * 86400.0, end = 8.0 * 86400.0;
+  for (const wsn::FaultCommand& f : bundle.faults) {
+    if (f.type == wsn::FaultCommand::Type::kNodeReboot) {
+      // Repairs land a few hours after the window closes.
+      EXPECT_GT(f.start, end);
+      EXPECT_LE(f.start, end + 9.0 * 3600.0);
+      continue;
+    }
+    EXPECT_GE(f.start, start);
+    EXPECT_LE(f.start, end);
+  }
+}
+
+TEST(Testbed, GridGeometry) {
+  TestbedParams params;
+  ScenarioBundle bundle = testbed(params);
+  // 45 grid nodes + 1 sink.
+  EXPECT_EQ(bundle.config.positions.size(), 46u);
+  EXPECT_DOUBLE_EQ(bundle.config.report_period, 180.0);
+  EXPECT_DOUBLE_EQ(bundle.config.duration, 7200.0);
+  // Grid extent: 5 cols × 9 rows at 7 m.
+  double max_x = 0, max_y = 0;
+  for (std::size_t i = 1; i < bundle.config.positions.size(); ++i) {
+    max_x = std::max(max_x, bundle.config.positions[i].x);
+    max_y = std::max(max_y, bundle.config.positions[i].y);
+  }
+  EXPECT_DOUBLE_EQ(max_x, 4 * 7.0);
+  EXPECT_DOUBLE_EQ(max_y, 8 * 7.0);
+}
+
+TEST(Testbed, RemovalScheduleRespectsBounds) {
+  TestbedParams params;
+  params.seed = 99;
+  ScenarioBundle bundle = testbed(params);
+  ASSERT_FALSE(bundle.faults.empty());
+
+  // Count removals per cycle; each must be within [5, 7]; every removal is
+  // re-inserted the next cycle.
+  std::map<int, int> removals_per_cycle;
+  std::size_t failures = 0, reboots = 0;
+  for (const wsn::FaultCommand& f : bundle.faults) {
+    EXPECT_NE(f.node, wsn::kSinkId);  // Never remove the sink.
+    if (f.type == wsn::FaultCommand::Type::kNodeFailure) {
+      ++failures;
+      removals_per_cycle[static_cast<int>(f.start / params.cycle_period)]++;
+    } else if (f.type == wsn::FaultCommand::Type::kNodeReboot) {
+      ++reboots;
+    }
+  }
+  for (const auto& [cycle, count] : removals_per_cycle) {
+    EXPECT_GE(count, 5) << "cycle " << cycle;
+    EXPECT_LE(count, 7) << "cycle " << cycle;
+  }
+  // All but the last cycle's removals come back.
+  EXPECT_GE(reboots, failures - 7);
+}
+
+TEST(Testbed, LocalPatternClustersRemovals) {
+  TestbedParams local_params;
+  local_params.pattern = RemovalPattern::kLocal;
+  local_params.seed = 7;
+  ScenarioBundle local = testbed(local_params);
+
+  TestbedParams wide_params;
+  wide_params.pattern = RemovalPattern::kExpansive;
+  wide_params.seed = 7;
+  ScenarioBundle wide = testbed(wide_params);
+
+  // Mean pairwise distance of removed nodes per cycle must be smaller for
+  // the local pattern.
+  auto mean_spread = [](const ScenarioBundle& bundle) {
+    std::map<int, std::vector<wsn::Position>> cycles;
+    for (const wsn::FaultCommand& f : bundle.faults)
+      if (f.type == wsn::FaultCommand::Type::kNodeFailure)
+        cycles[static_cast<int>(f.start / 600.0)].push_back(
+            bundle.config.positions[f.node]);
+    double total = 0.0;
+    std::size_t pairs = 0;
+    for (const auto& [cycle, positions] : cycles) {
+      for (std::size_t i = 0; i < positions.size(); ++i)
+        for (std::size_t j = i + 1; j < positions.size(); ++j) {
+          total += distance(positions[i], positions[j]);
+          ++pairs;
+        }
+    }
+    return pairs ? total / static_cast<double>(pairs) : 0.0;
+  };
+  EXPECT_LT(mean_spread(local), 0.7 * mean_spread(wide));
+}
+
+TEST(Tiny, IsSmallAndFaultFree) {
+  ScenarioBundle bundle = tiny(9, 600.0, 3);
+  EXPECT_GE(bundle.config.positions.size(), 9u);
+  EXPECT_TRUE(bundle.faults.empty());
+  EXPECT_DOUBLE_EQ(bundle.config.duration, 600.0);
+}
+
+TEST(Bundle, MakeSimulatorInjectsFaults) {
+  TestbedParams params;
+  ScenarioBundle bundle = testbed(params);
+  wsn::Simulator sim = bundle.make_simulator();
+  EXPECT_EQ(sim.snapshot_result().ground_truth.size(), bundle.faults.size());
+}
+
+}  // namespace
+}  // namespace vn2::scenario

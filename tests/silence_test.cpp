@@ -1,0 +1,113 @@
+#include "core/silence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+
+namespace vn2::core {
+namespace {
+
+trace::Trace synthetic_trace(std::size_t nodes, std::size_t snapshots,
+                             double period) {
+  trace::Trace trace;
+  for (std::size_t id = 1; id <= nodes; ++id) {
+    trace::NodeSeries series;
+    series.node = static_cast<wsn::NodeId>(id);
+    for (std::size_t s = 0; s < snapshots; ++s) {
+      trace::Snapshot snap;
+      snap.epoch = s;
+      snap.time = static_cast<double>(s) * period;
+      series.snapshots.push_back(snap);
+    }
+    trace.nodes.push_back(std::move(series));
+  }
+  return trace;
+}
+
+TEST(Silence, QuietNetworkHasNoSilentNodes) {
+  const trace::Trace trace = synthetic_trace(5, 20, 60.0);
+  // "now" is one period after the last snapshot.
+  EXPECT_TRUE(detect_silent_nodes(trace, 19.0 * 60.0 + 60.0).empty());
+}
+
+TEST(Silence, FlagsNodeThatStopped) {
+  trace::Trace trace = synthetic_trace(5, 20, 60.0);
+  // Node 3's series ends at snapshot 10 (t = 600); everyone else runs on.
+  trace.nodes[2].snapshots.resize(11);
+  const wsn::Time now = 19.0 * 60.0 + 60.0;
+  const auto silent = detect_silent_nodes(trace, now);
+  ASSERT_EQ(silent.size(), 1u);
+  EXPECT_EQ(silent[0].node, 3);
+  EXPECT_DOUBLE_EQ(silent[0].last_seen, 600.0);
+  EXPECT_DOUBLE_EQ(silent[0].silent_for, now - 600.0);
+  EXPECT_DOUBLE_EQ(silent[0].expected_interval, 60.0);
+}
+
+TEST(Silence, SortsByQuietDuration) {
+  trace::Trace trace = synthetic_trace(4, 20, 60.0);
+  trace.nodes[0].snapshots.resize(5);   // Longest silence, but only 5 snaps.
+  trace.nodes[1].snapshots.resize(10);  // Silent since 540.
+  trace.nodes[2].snapshots.resize(15);  // Silent since 840.
+  const auto silent = detect_silent_nodes(trace, 20.0 * 60.0);
+  ASSERT_EQ(silent.size(), 3u);
+  EXPECT_EQ(silent[0].node, 1);
+  EXPECT_EQ(silent[1].node, 2);
+  EXPECT_EQ(silent[2].node, 3);
+}
+
+TEST(Silence, TooFewSnapshotsAreNotJudged) {
+  trace::Trace trace = synthetic_trace(2, 3, 60.0);
+  SilenceOptions options;
+  options.min_snapshots = 5;
+  EXPECT_TRUE(detect_silent_nodes(trace, 1e6, options).empty());
+}
+
+TEST(Silence, FactorControlsSensitivity) {
+  trace::Trace trace = synthetic_trace(1, 10, 60.0);  // Last at 540.
+  SilenceOptions tight;
+  tight.factor = 2.0;
+  SilenceOptions loose;
+  loose.factor = 10.0;
+  EXPECT_EQ(detect_silent_nodes(trace, 540.0 + 180.0, tight).size(), 1u);
+  EXPECT_TRUE(detect_silent_nodes(trace, 540.0 + 180.0, loose).empty());
+}
+
+TEST(Silence, MedianRobustToLossGaps) {
+  // A node with mostly 60 s cadence but two long loss gaps: the median stays
+  // 60 s, so a 150 s quiet spell (2.5x) under factor 4 is NOT silence.
+  trace::Trace trace;
+  trace::NodeSeries series;
+  series.node = 1;
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    trace::Snapshot snap;
+    snap.epoch = static_cast<std::uint64_t>(i);
+    snap.time = t;
+    series.snapshots.push_back(snap);
+    t += (i == 5 || i == 12) ? 600.0 : 60.0;
+  }
+  trace.nodes.push_back(series);
+  const double last = trace.nodes[0].snapshots.back().time;
+  EXPECT_TRUE(detect_silent_nodes(trace, last + 150.0).empty());
+  EXPECT_EQ(detect_silent_nodes(trace, last + 400.0).size(), 1u);
+}
+
+TEST(Silence, CatchesSimulatedNodeFailure) {
+  scenario::ScenarioBundle bundle = scenario::tiny(12, 5400.0, 3);
+  wsn::FaultCommand fail;
+  fail.type = wsn::FaultCommand::Type::kNodeFailure;
+  fail.node = 7;
+  fail.start = 2700.0;
+  bundle.faults.push_back(fail);
+  wsn::Simulator sim = bundle.make_simulator();
+  const wsn::SimulationResult result = sim.run();
+  const trace::Trace log = trace::build_trace(result);
+
+  const auto silent = detect_silent_nodes(log, 5400.0);
+  ASSERT_FALSE(silent.empty());
+  EXPECT_EQ(silent[0].node, 7);
+  EXPECT_LT(silent[0].last_seen, 2760.0);
+}
+
+}  // namespace
+}  // namespace vn2::core

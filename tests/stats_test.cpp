@@ -1,0 +1,88 @@
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/scenario.hpp"
+
+namespace vn2::trace {
+namespace {
+
+TEST(Stats, SimulatedNetworkReport) {
+  scenario::ScenarioBundle bundle = scenario::tiny(12, 3600.0, 3);
+  wsn::Simulator sim = bundle.make_simulator();
+  const wsn::SimulationResult result = sim.run();
+  const Trace log = build_trace(result);
+  const NetworkStats stats = compute_stats(result, log);
+
+  EXPECT_EQ(stats.expected_nodes, sim.node_count() - 1);
+  EXPECT_GT(stats.reporting_nodes, 0u);
+  EXPECT_NEAR(stats.overall_prr, overall_prr(result), 1e-9);
+  EXPECT_GE(stats.mean_hops, 1.0);
+
+  for (const NodeStats& node : stats.nodes) {
+    EXPECT_NE(node.node, wsn::kSinkId);
+    EXPECT_GE(node.prr, 0.0);
+    EXPECT_LE(node.prr, 1.05);
+    if (node.snapshots > 0) {
+      EXPECT_GE(node.last_seen, node.first_seen);
+      EXPECT_GT(node.voltage, 2.5);
+    }
+    EXPECT_LE(node.mean_hops, node.max_hops + 1e-9);
+  }
+}
+
+TEST(Stats, FailedNodeShowsReducedActivity) {
+  scenario::ScenarioBundle bundle = scenario::tiny(12, 3600.0, 3);
+  wsn::FaultCommand fail;
+  fail.type = wsn::FaultCommand::Type::kNodeFailure;
+  fail.node = 6;
+  fail.start = 900.0;
+  bundle.faults.push_back(fail);
+  wsn::Simulator sim = bundle.make_simulator();
+  const wsn::SimulationResult result = sim.run();
+  const NetworkStats stats = compute_stats(result, build_trace(result));
+
+  const NodeStats* dead = stats.find(6);
+  ASSERT_NE(dead, nullptr);
+  EXPECT_LT(dead->last_seen, 1000.0);
+  // It reported for a quarter of the run; a healthy peer has ~4x snapshots.
+  const NodeStats* alive = stats.find(3);
+  ASSERT_NE(alive, nullptr);
+  EXPECT_GT(alive->snapshots, 2 * dead->snapshots);
+}
+
+TEST(Stats, TraceOnlyVariant) {
+  scenario::ScenarioBundle bundle = scenario::tiny(9, 1800.0, 7);
+  const wsn::SimulationResult result = bundle.make_simulator().run();
+  const Trace log = build_trace(result);
+  const NetworkStats stats = compute_stats(log);
+  EXPECT_GT(stats.reporting_nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats.overall_prr, 0.0);  // No origination log.
+  for (const NodeStats& node : stats.nodes) EXPECT_GT(node.snapshots, 0u);
+}
+
+TEST(Stats, PrintIsWellFormed) {
+  scenario::ScenarioBundle bundle = scenario::tiny(9, 1800.0, 7);
+  const wsn::SimulationResult result = bundle.make_simulator().run();
+  const NetworkStats stats = compute_stats(result, build_trace(result));
+  std::ostringstream os;
+  print_stats(os, stats);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("overall PRR"), std::string::npos);
+  EXPECT_NE(text.find("parentX"), std::string::npos);
+  // One row per node plus two header lines.
+  std::size_t lines = 0;
+  for (char c : text)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, stats.nodes.size() + 2);
+}
+
+TEST(Stats, FindMissingNode) {
+  NetworkStats stats;
+  EXPECT_EQ(stats.find(3), nullptr);
+}
+
+}  // namespace
+}  // namespace vn2::trace

@@ -1,0 +1,96 @@
+// Adaptive (Trickle-style) beaconing tests.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+#include "wsn/simulator.hpp"
+
+namespace vn2::wsn {
+namespace {
+
+SimConfig chain_config(bool adaptive) {
+  SimConfig config;
+  for (int i = 0; i <= 5; ++i)
+    config.positions.push_back({25.0 * i, 0.0});
+  config.duration = 3600.0;
+  config.report_period = 60.0;
+  config.beacon_period = 10.0;
+  config.seed = 77;
+  config.radio.shadowing_stddev_db = 0.0;
+  config.adaptive_beaconing = adaptive;
+  return config;
+}
+
+TEST(Trickle, StableNetworkSendsFewerBeacons) {
+  Simulator fixed(chain_config(false));
+  fixed.run_until(3600.0);
+  Simulator adaptive(chain_config(true));
+  adaptive.run_until(3600.0);
+  // With the interval doubling to 8x, a stable network should emit several
+  // times fewer beacons.
+  EXPECT_LT(adaptive.stats().beacons_sent,
+            fixed.stats().beacons_sent / 2);
+  EXPECT_GT(adaptive.stats().beacons_sent, 0u);
+}
+
+TEST(Trickle, DeliveryStaysHealthy) {
+  Simulator adaptive(chain_config(true));
+  SimulationResult result = adaptive.run();
+  const double prr = static_cast<double>(result.sink_log.size()) /
+                     static_cast<double>(result.originations.size());
+  EXPECT_GT(prr, 0.85);
+}
+
+TEST(Trickle, RouteEventsSpeedBeaconingBackUp) {
+  SimConfig config = chain_config(true);
+  Simulator sim(config);
+  sim.run_until(900.0);
+  // After 15 minutes of stability, intervals should have backed off.
+  EXPECT_GT(sim.node(3).beacon_interval, config.beacon_period);
+
+  const double stable_start =
+      sim.node(3).metric(metrics::MetricId::kBeaconSentCounter);
+  sim.run_until(1200.0);
+  const double stable_rate =
+      sim.node(3).metric(metrics::MetricId::kBeaconSentCounter) - stable_start;
+
+  // Kill node 2: node 3 loses its parent. The resulting route churn resets
+  // the trickle state (repeatedly), so node 3 beacons faster than it did
+  // during the stable window.
+  sim.mutable_node(2).fail();
+  const double churn_start =
+      sim.node(3).metric(metrics::MetricId::kBeaconSentCounter);
+  sim.run_until(1500.0);
+  const double churn_rate =
+      sim.node(3).metric(metrics::MetricId::kBeaconSentCounter) - churn_start;
+  EXPECT_GT(churn_rate, stable_rate);
+}
+
+TEST(Trickle, CapRespected) {
+  SimConfig config = chain_config(true);
+  config.beacon_interval_max = 25.0;
+  Simulator sim(config);
+  sim.run_until(1800.0);
+  for (NodeId id = 0; id < sim.node_count(); ++id)
+    EXPECT_LE(sim.node(id).beacon_interval, 25.0 + 1e-9);
+}
+
+TEST(Trickle, RebootResetsInterval) {
+  SimConfig config = chain_config(true);
+  Simulator sim(config);
+  sim.run_until(1200.0);
+  EXPECT_GT(sim.node(4).beacon_interval, config.beacon_period);
+  sim.mutable_node(4).reboot(1200.0);
+  EXPECT_DOUBLE_EQ(sim.node(4).beacon_interval, 0.0);  // Re-initialized lazily.
+}
+
+TEST(Trickle, OffByDefaultKeepsFixedCadence) {
+  SimConfig config = chain_config(false);
+  Simulator sim(config);
+  sim.run_until(1800.0);
+  // In fixed mode the trickle state is never engaged.
+  for (NodeId id = 0; id < sim.node_count(); ++id)
+    EXPECT_DOUBLE_EQ(sim.node(id).beacon_interval, 0.0);
+}
+
+}  // namespace
+}  // namespace vn2::wsn

@@ -1,0 +1,305 @@
+// vn2 — command-line front end to the VN2 pipeline.
+//
+//   vn2 simulate --scenario tiny|testbed|citysee [--days D] [--seed S]
+//                [--spacing M] --out trace.csv
+//   vn2 train    --trace trace.csv [--rank R] [--threshold T]
+//                [--skip-extraction] --out model.vn2
+//   vn2 inspect  --model model.vn2
+//   vn2 diagnose --model model.vn2 --trace trace.csv [--top K] [--all]
+//   vn2 incidents --model model.vn2 --trace trace.csv [--gap S]
+//
+// Traces are the CSV format of trace/csv.hpp (one row per assembled
+// snapshot), so field data exported from a real deployment can be run
+// through `train`/`diagnose` unchanged.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/incident.hpp"
+#include "core/silence.hpp"
+#include "core/vn2.hpp"
+#include "scenario/scenario.hpp"
+#include "trace/csv.hpp"
+#include "trace/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace vn2;
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    auto it = flags.find(key);
+    return it != flags.end() && it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", token.c_str());
+      std::exit(2);
+    }
+    token = token.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[token] = argv[++i];
+    } else {
+      args.flags[token] = true;
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  vn2 simulate  --scenario tiny|testbed|citysee [--days D] [--seed S]\n"
+      "                [--nodes N] [--spacing M] --out trace.csv\n"
+      "  vn2 train     --trace trace.csv [--rank R] [--threshold T]\n"
+      "                [--skip-extraction] --out model.vn2\n"
+      "  vn2 inspect   --model model.vn2\n"
+      "  vn2 diagnose  --model model.vn2 --trace trace.csv [--top K] [--all]\n"
+      "  vn2 incidents --model model.vn2 --trace trace.csv [--gap seconds]\n"
+      "  vn2 silent    --trace trace.csv [--factor F]\n"
+      "  vn2 stats     --trace trace.csv\n");
+  return 2;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::string kind = args.get("scenario", "tiny");
+  const std::string out = args.get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "simulate: --out is required\n");
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 7));
+
+  scenario::ScenarioBundle bundle;
+  if (kind == "citysee") {
+    scenario::CityseeParams params;
+    params.days = args.number("days", 1.0);
+    params.node_count =
+        static_cast<std::size_t>(args.number("nodes", 286));
+    params.seed = seed;
+    bundle = scenario::citysee_field(params);
+  } else if (kind == "testbed") {
+    scenario::TestbedParams params;
+    params.seed = seed;
+    bundle = scenario::testbed(params);
+  } else if (kind == "tiny") {
+    bundle = scenario::tiny(static_cast<std::size_t>(args.number("nodes", 16)),
+                            args.number("days", 0.125) * 86400.0, seed,
+                            args.number("spacing", 8.0));
+  } else {
+    std::fprintf(stderr, "simulate: unknown scenario '%s'\n", kind.c_str());
+    return 2;
+  }
+
+  std::printf("simulating '%s': %zu nodes, %.2f h...\n", kind.c_str(),
+              bundle.config.positions.size(), bundle.config.duration / 3600.0);
+  wsn::Simulator sim = bundle.make_simulator();
+  const wsn::SimulationResult result = sim.run();
+  const trace::Trace log = trace::build_trace(result);
+  trace::write_trace_csv_file(out, log);
+  std::printf("PRR %.3f, %zu snapshots from %zu nodes -> %s\n",
+              trace::overall_prr(result), log.total_snapshots(),
+              log.nodes.size(), out.c_str());
+  return 0;
+}
+
+std::vector<trace::StateVector> load_states(const std::string& path) {
+  const trace::Trace log = trace::read_trace_csv_file(path);
+  return trace::extract_states(log);
+}
+
+int cmd_train(const Args& args) {
+  const std::string trace_path = args.get("trace");
+  const std::string out = args.get("out");
+  if (trace_path.empty() || out.empty()) {
+    std::fprintf(stderr, "train: --trace and --out are required\n");
+    return 2;
+  }
+  const auto states = load_states(trace_path);
+  std::printf("loaded %zu states from %s\n", states.size(),
+              trace_path.c_str());
+
+  core::TrainingOptions options;
+  options.rank = static_cast<std::size_t>(args.number("rank", 0));
+  options.exception_threshold = args.number("threshold", 0.30);
+  options.skip_exception_extraction = args.flag("skip-extraction");
+  const core::TrainingReport report =
+      core::train(trace::states_matrix(states), options);
+
+  if (!report.rank_sweep.empty()) {
+    std::printf("rank sweep:\n");
+    for (const nmf::RankPoint& p : report.rank_sweep)
+      std::printf("  r=%2zu  alpha=%.4f  alpha_sparse=%.4f\n", p.rank,
+                  p.accuracy_original, p.accuracy_sparse);
+  }
+  std::printf("trained: %zu exception states of %zu, r=%zu, alpha=%.4f\n",
+              report.exception_states, report.training_states,
+              report.chosen_rank,
+              report.nmf.objective_history.empty()
+                  ? 0.0
+                  : report.nmf.objective_history.back());
+  report.model.save(out);
+  std::printf("model -> %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const std::string model_path = args.get("model");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "inspect: --model is required\n");
+    return 2;
+  }
+  core::Vn2Tool tool =
+      core::Vn2Tool::from_model(core::Vn2Model::load(model_path));
+  std::printf("representative matrix: %zu root-cause vectors\n",
+              tool.model().rank());
+  for (const core::RootCauseInterpretation& interp : tool.interpretations())
+    std::printf("  psi[%2zu]: %s\n", interp.row, interp.summary.c_str());
+  return 0;
+}
+
+int cmd_diagnose(const Args& args) {
+  const std::string model_path = args.get("model");
+  const std::string trace_path = args.get("trace");
+  if (model_path.empty() || trace_path.empty()) {
+    std::fprintf(stderr, "diagnose: --model and --trace are required\n");
+    return 2;
+  }
+  core::Vn2Tool tool =
+      core::Vn2Tool::from_model(core::Vn2Model::load(model_path));
+  const auto states = load_states(trace_path);
+  const auto top = static_cast<std::size_t>(args.number("top", 10));
+  const bool all = args.flag("all");
+
+  // Rank by ε score; print the top K (or every exception with --all).
+  std::vector<std::pair<double, std::size_t>> ranked;
+  for (std::size_t i = 0; i < states.size(); ++i)
+    ranked.emplace_back(tool.model().exception_score(states[i].delta), i);
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::size_t shown = 0, exceptions = 0;
+  for (const auto& [score, index] : ranked) {
+    const auto explanation = tool.explain(states[index].delta);
+    if (!explanation.diagnosis.is_exception) break;  // Sorted: rest are normal.
+    ++exceptions;
+    if (all || shown < top) {
+      std::printf("node %u @ t=%.0fs: %s\n", states[index].node,
+                  states[index].time, explanation.text.c_str());
+      ++shown;
+    }
+  }
+  std::printf("\n%zu of %zu states are exceptions (%zu shown)\n", exceptions,
+              states.size(), shown);
+  return 0;
+}
+
+int cmd_incidents(const Args& args) {
+  const std::string model_path = args.get("model");
+  const std::string trace_path = args.get("trace");
+  if (model_path.empty() || trace_path.empty()) {
+    std::fprintf(stderr, "incidents: --model and --trace are required\n");
+    return 2;
+  }
+  core::Vn2Tool tool =
+      core::Vn2Tool::from_model(core::Vn2Model::load(model_path));
+  const auto states = load_states(trace_path);
+
+  std::vector<core::Diagnosis> diagnoses;
+  diagnoses.reserve(states.size());
+  for (const trace::StateVector& state : states)
+    diagnoses.push_back(tool.diagnose_state(state.delta));
+
+  core::IncidentOptions options;
+  options.merge_gap = args.number("gap", 1800.0);
+  const auto incidents = core::aggregate_incidents(
+      states, diagnoses, tool.interpretations(), options);
+  for (const core::Incident& incident : incidents)
+    std::printf("%s\n", incident.summary.c_str());
+  std::printf("\n%zu incidents from %zu states\n", incidents.size(),
+              states.size());
+  return 0;
+}
+
+int cmd_silent(const Args& args) {
+  const std::string trace_path = args.get("trace");
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "silent: --trace is required\n");
+    return 2;
+  }
+  const trace::Trace log = trace::read_trace_csv_file(trace_path);
+  core::SilenceOptions options;
+  options.factor = args.number("factor", 4.0);
+  // "now" = the latest snapshot anywhere in the trace.
+  wsn::Time now = 0.0;
+  for (const trace::NodeSeries& series : log.nodes)
+    if (!series.snapshots.empty())
+      now = std::max(now, series.snapshots.back().time);
+  const auto silent = core::detect_silent_nodes(log, now, options);
+  for (const core::SilentNode& entry : silent)
+    std::printf("node %u silent for %.0fs (last seen t=%.0fs, expected "
+                "every %.0fs)\n",
+                entry.node, entry.silent_for, entry.last_seen,
+                entry.expected_interval);
+  std::printf("\n%zu of %zu nodes look silent as of t=%.0fs\n", silent.size(),
+              log.nodes.size(), now);
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const std::string trace_path = args.get("trace");
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "stats: --trace is required\n");
+    return 2;
+  }
+  const trace::Trace log = trace::read_trace_csv_file(trace_path);
+  const trace::NetworkStats stats = trace::compute_stats(log);
+  std::ostringstream os;
+  trace::print_stats(os, stats, /*has_prr=*/false);
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "inspect") return cmd_inspect(args);
+    if (command == "diagnose") return cmd_diagnose(args);
+    if (command == "incidents") return cmd_incidents(args);
+    if (command == "silent") return cmd_silent(args);
+    if (command == "stats") return cmd_stats(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "vn2 %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+  return usage();
+}
