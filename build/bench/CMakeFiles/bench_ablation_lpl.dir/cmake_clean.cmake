@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lpl.dir/ablation_lpl.cpp.o"
+  "CMakeFiles/bench_ablation_lpl.dir/ablation_lpl.cpp.o.d"
+  "CMakeFiles/bench_ablation_lpl.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_lpl.dir/bench_common.cpp.o.d"
+  "bench_ablation_lpl"
+  "bench_ablation_lpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nmf_vs_pca.dir/ablation_nmf_vs_pca.cpp.o"
+  "CMakeFiles/bench_ablation_nmf_vs_pca.dir/ablation_nmf_vs_pca.cpp.o.d"
+  "CMakeFiles/bench_ablation_nmf_vs_pca.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_nmf_vs_pca.dir/bench_common.cpp.o.d"
+  "bench_ablation_nmf_vs_pca"
+  "bench_ablation_nmf_vs_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nmf_vs_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trickle.dir/ablation_trickle.cpp.o"
+  "CMakeFiles/bench_ablation_trickle.dir/ablation_trickle.cpp.o.d"
+  "CMakeFiles/bench_ablation_trickle.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_trickle.dir/bench_common.cpp.o.d"
+  "bench_ablation_trickle"
+  "bench_ablation_trickle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trickle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

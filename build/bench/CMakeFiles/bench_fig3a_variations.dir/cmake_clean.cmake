@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_variations.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig3a_variations.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig3a_variations.dir/fig3a_variations.cpp.o"
+  "CMakeFiles/bench_fig3a_variations.dir/fig3a_variations.cpp.o.d"
+  "bench_fig3a_variations"
+  "bench_fig3a_variations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_variations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

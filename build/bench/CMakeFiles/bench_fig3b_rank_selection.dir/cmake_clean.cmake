@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_rank_selection.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig3b_rank_selection.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig3b_rank_selection.dir/fig3b_rank_selection.cpp.o"
+  "CMakeFiles/bench_fig3b_rank_selection.dir/fig3b_rank_selection.cpp.o.d"
+  "bench_fig3b_rank_selection"
+  "bench_fig3b_rank_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_rank_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3c_correlation.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig3c_correlation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig3c_correlation.dir/fig3c_correlation.cpp.o"
+  "CMakeFiles/bench_fig3c_correlation.dir/fig3c_correlation.cpp.o.d"
+  "bench_fig3c_correlation"
+  "bench_fig3c_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3c_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

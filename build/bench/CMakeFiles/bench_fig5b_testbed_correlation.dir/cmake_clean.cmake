@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_testbed_correlation.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig5b_testbed_correlation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig5b_testbed_correlation.dir/fig5b_testbed_correlation.cpp.o"
+  "CMakeFiles/bench_fig5b_testbed_correlation.dir/fig5b_testbed_correlation.cpp.o.d"
+  "bench_fig5b_testbed_correlation"
+  "bench_fig5b_testbed_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_testbed_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

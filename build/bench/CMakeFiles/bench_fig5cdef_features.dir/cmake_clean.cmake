@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5cdef_features.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig5cdef_features.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig5cdef_features.dir/fig5cdef_features.cpp.o"
+  "CMakeFiles/bench_fig5cdef_features.dir/fig5cdef_features.cpp.o.d"
+  "bench_fig5cdef_features"
+  "bench_fig5cdef_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5cdef_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

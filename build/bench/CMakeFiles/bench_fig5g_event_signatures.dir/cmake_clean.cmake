@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5g_event_signatures.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig5g_event_signatures.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig5g_event_signatures.dir/fig5g_event_signatures.cpp.o"
+  "CMakeFiles/bench_fig5g_event_signatures.dir/fig5g_event_signatures.cpp.o.d"
+  "bench_fig5g_event_signatures"
+  "bench_fig5g_event_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5g_event_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_prr.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig6a_prr.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig6a_prr.dir/fig6a_prr.cpp.o"
+  "CMakeFiles/bench_fig6a_prr.dir/fig6a_prr.cpp.o.d"
+  "bench_fig6a_prr"
+  "bench_fig6a_prr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_prr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

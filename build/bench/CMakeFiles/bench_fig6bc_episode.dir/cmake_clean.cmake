@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6bc_episode.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig6bc_episode.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig6bc_episode.dir/fig6bc_episode.cpp.o"
+  "CMakeFiles/bench_fig6bc_episode.dir/fig6bc_episode.cpp.o.d"
+  "bench_fig6bc_episode"
+  "bench_fig6bc_episode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6bc_episode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6bc_episode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_localization.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_localization.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_localization.dir/localization.cpp.o"
+  "CMakeFiles/bench_localization.dir/localization.cpp.o.d"
+  "bench_localization"
+  "bench_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_estimation.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_perf_estimation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_perf_estimation.dir/perf_estimation.cpp.o"
+  "CMakeFiles/bench_perf_estimation.dir/perf_estimation.cpp.o.d"
+  "bench_perf_estimation"
+  "bench_perf_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

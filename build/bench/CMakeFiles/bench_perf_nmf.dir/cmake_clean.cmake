@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_nmf.dir/perf_nmf.cpp.o"
+  "CMakeFiles/bench_perf_nmf.dir/perf_nmf.cpp.o.d"
+  "bench_perf_nmf"
+  "bench_perf_nmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_nmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hazards.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table1_hazards.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table1_hazards.dir/table1_hazards.cpp.o"
+  "CMakeFiles/bench_table1_hazards.dir/table1_hazards.cpp.o.d"
+  "bench_table1_hazards"
+  "bench_table1_hazards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hazards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

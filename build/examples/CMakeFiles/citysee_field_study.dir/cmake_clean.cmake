@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citysee_field_study.dir/citysee_field_study.cpp.o"
+  "CMakeFiles/citysee_field_study.dir/citysee_field_study.cpp.o.d"
+  "citysee_field_study"
+  "citysee_field_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citysee_field_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_diagnosis.dir/testbed_diagnosis.cpp.o"
+  "CMakeFiles/testbed_diagnosis.dir/testbed_diagnosis.cpp.o.d"
+  "testbed_diagnosis"
+  "testbed_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

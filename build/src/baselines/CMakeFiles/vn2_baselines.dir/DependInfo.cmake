@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/agnostic.cpp" "src/baselines/CMakeFiles/vn2_baselines.dir/agnostic.cpp.o" "gcc" "src/baselines/CMakeFiles/vn2_baselines.dir/agnostic.cpp.o.d"
+  "/root/repo/src/baselines/kmeans.cpp" "src/baselines/CMakeFiles/vn2_baselines.dir/kmeans.cpp.o" "gcc" "src/baselines/CMakeFiles/vn2_baselines.dir/kmeans.cpp.o.d"
+  "/root/repo/src/baselines/pca_decomposer.cpp" "src/baselines/CMakeFiles/vn2_baselines.dir/pca_decomposer.cpp.o" "gcc" "src/baselines/CMakeFiles/vn2_baselines.dir/pca_decomposer.cpp.o.d"
+  "/root/repo/src/baselines/sympathy.cpp" "src/baselines/CMakeFiles/vn2_baselines.dir/sympathy.cpp.o" "gcc" "src/baselines/CMakeFiles/vn2_baselines.dir/sympathy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/vn2_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vn2_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vn2_baselines.dir/agnostic.cpp.o"
+  "CMakeFiles/vn2_baselines.dir/agnostic.cpp.o.d"
+  "CMakeFiles/vn2_baselines.dir/kmeans.cpp.o"
+  "CMakeFiles/vn2_baselines.dir/kmeans.cpp.o.d"
+  "CMakeFiles/vn2_baselines.dir/pca_decomposer.cpp.o"
+  "CMakeFiles/vn2_baselines.dir/pca_decomposer.cpp.o.d"
+  "CMakeFiles/vn2_baselines.dir/sympathy.cpp.o"
+  "CMakeFiles/vn2_baselines.dir/sympathy.cpp.o.d"
+  "libvn2_baselines.a"
+  "libvn2_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vn2_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/encoder.cpp" "src/core/CMakeFiles/vn2_core.dir/encoder.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/encoder.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/vn2_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/exception_detection.cpp" "src/core/CMakeFiles/vn2_core.dir/exception_detection.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/exception_detection.cpp.o.d"
+  "/root/repo/src/core/incident.cpp" "src/core/CMakeFiles/vn2_core.dir/incident.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/incident.cpp.o.d"
+  "/root/repo/src/core/inference.cpp" "src/core/CMakeFiles/vn2_core.dir/inference.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/inference.cpp.o.d"
+  "/root/repo/src/core/interpretation.cpp" "src/core/CMakeFiles/vn2_core.dir/interpretation.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/interpretation.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/vn2_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/vn2_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/performance.cpp" "src/core/CMakeFiles/vn2_core.dir/performance.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/performance.cpp.o.d"
+  "/root/repo/src/core/scaler.cpp" "src/core/CMakeFiles/vn2_core.dir/scaler.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/scaler.cpp.o.d"
+  "/root/repo/src/core/silence.cpp" "src/core/CMakeFiles/vn2_core.dir/silence.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/silence.cpp.o.d"
+  "/root/repo/src/core/vn2.cpp" "src/core/CMakeFiles/vn2_core.dir/vn2.cpp.o" "gcc" "src/core/CMakeFiles/vn2_core.dir/vn2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nmf/CMakeFiles/vn2_nmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vn2_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vn2_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vn2_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/vn2_wsn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

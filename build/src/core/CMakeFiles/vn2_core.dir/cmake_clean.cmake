@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vn2_core.dir/encoder.cpp.o"
+  "CMakeFiles/vn2_core.dir/encoder.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/evaluation.cpp.o"
+  "CMakeFiles/vn2_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/exception_detection.cpp.o"
+  "CMakeFiles/vn2_core.dir/exception_detection.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/incident.cpp.o"
+  "CMakeFiles/vn2_core.dir/incident.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/inference.cpp.o"
+  "CMakeFiles/vn2_core.dir/inference.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/interpretation.cpp.o"
+  "CMakeFiles/vn2_core.dir/interpretation.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/model.cpp.o"
+  "CMakeFiles/vn2_core.dir/model.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/online.cpp.o"
+  "CMakeFiles/vn2_core.dir/online.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/performance.cpp.o"
+  "CMakeFiles/vn2_core.dir/performance.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/scaler.cpp.o"
+  "CMakeFiles/vn2_core.dir/scaler.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/silence.cpp.o"
+  "CMakeFiles/vn2_core.dir/silence.cpp.o.d"
+  "CMakeFiles/vn2_core.dir/vn2.cpp.o"
+  "CMakeFiles/vn2_core.dir/vn2.cpp.o.d"
+  "libvn2_core.a"
+  "libvn2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vn2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/vn2_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/vn2_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/nnls.cpp" "src/linalg/CMakeFiles/vn2_linalg.dir/nnls.cpp.o" "gcc" "src/linalg/CMakeFiles/vn2_linalg.dir/nnls.cpp.o.d"
+  "/root/repo/src/linalg/pca.cpp" "src/linalg/CMakeFiles/vn2_linalg.dir/pca.cpp.o" "gcc" "src/linalg/CMakeFiles/vn2_linalg.dir/pca.cpp.o.d"
+  "/root/repo/src/linalg/random.cpp" "src/linalg/CMakeFiles/vn2_linalg.dir/random.cpp.o" "gcc" "src/linalg/CMakeFiles/vn2_linalg.dir/random.cpp.o.d"
+  "/root/repo/src/linalg/solve.cpp" "src/linalg/CMakeFiles/vn2_linalg.dir/solve.cpp.o" "gcc" "src/linalg/CMakeFiles/vn2_linalg.dir/solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vn2_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/vn2_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/vn2_linalg.dir/nnls.cpp.o"
+  "CMakeFiles/vn2_linalg.dir/nnls.cpp.o.d"
+  "CMakeFiles/vn2_linalg.dir/pca.cpp.o"
+  "CMakeFiles/vn2_linalg.dir/pca.cpp.o.d"
+  "CMakeFiles/vn2_linalg.dir/random.cpp.o"
+  "CMakeFiles/vn2_linalg.dir/random.cpp.o.d"
+  "CMakeFiles/vn2_linalg.dir/solve.cpp.o"
+  "CMakeFiles/vn2_linalg.dir/solve.cpp.o.d"
+  "libvn2_linalg.a"
+  "libvn2_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vn2_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vn2_metrics.dir/hazards.cpp.o"
+  "CMakeFiles/vn2_metrics.dir/hazards.cpp.o.d"
+  "CMakeFiles/vn2_metrics.dir/schema.cpp.o"
+  "CMakeFiles/vn2_metrics.dir/schema.cpp.o.d"
+  "libvn2_metrics.a"
+  "libvn2_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vn2_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nmf/nmf.cpp" "src/nmf/CMakeFiles/vn2_nmf.dir/nmf.cpp.o" "gcc" "src/nmf/CMakeFiles/vn2_nmf.dir/nmf.cpp.o.d"
+  "/root/repo/src/nmf/nmf_kl.cpp" "src/nmf/CMakeFiles/vn2_nmf.dir/nmf_kl.cpp.o" "gcc" "src/nmf/CMakeFiles/vn2_nmf.dir/nmf_kl.cpp.o.d"
+  "/root/repo/src/nmf/rank_selection.cpp" "src/nmf/CMakeFiles/vn2_nmf.dir/rank_selection.cpp.o" "gcc" "src/nmf/CMakeFiles/vn2_nmf.dir/rank_selection.cpp.o.d"
+  "/root/repo/src/nmf/sparsify.cpp" "src/nmf/CMakeFiles/vn2_nmf.dir/sparsify.cpp.o" "gcc" "src/nmf/CMakeFiles/vn2_nmf.dir/sparsify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/vn2_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

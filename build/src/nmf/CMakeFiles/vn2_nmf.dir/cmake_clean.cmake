@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vn2_nmf.dir/nmf.cpp.o"
+  "CMakeFiles/vn2_nmf.dir/nmf.cpp.o.d"
+  "CMakeFiles/vn2_nmf.dir/nmf_kl.cpp.o"
+  "CMakeFiles/vn2_nmf.dir/nmf_kl.cpp.o.d"
+  "CMakeFiles/vn2_nmf.dir/rank_selection.cpp.o"
+  "CMakeFiles/vn2_nmf.dir/rank_selection.cpp.o.d"
+  "CMakeFiles/vn2_nmf.dir/sparsify.cpp.o"
+  "CMakeFiles/vn2_nmf.dir/sparsify.cpp.o.d"
+  "libvn2_nmf.a"
+  "libvn2_nmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vn2_nmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

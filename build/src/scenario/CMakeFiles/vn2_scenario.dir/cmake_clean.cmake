@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vn2_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/vn2_scenario.dir/scenario.cpp.o.d"
+  "libvn2_scenario.a"
+  "libvn2_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vn2_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

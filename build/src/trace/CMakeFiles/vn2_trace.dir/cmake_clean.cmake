@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vn2_trace.dir/csv.cpp.o"
+  "CMakeFiles/vn2_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/vn2_trace.dir/stats.cpp.o"
+  "CMakeFiles/vn2_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/vn2_trace.dir/trace.cpp.o"
+  "CMakeFiles/vn2_trace.dir/trace.cpp.o.d"
+  "libvn2_trace.a"
+  "libvn2_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vn2_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsn/environment.cpp" "src/wsn/CMakeFiles/vn2_wsn.dir/environment.cpp.o" "gcc" "src/wsn/CMakeFiles/vn2_wsn.dir/environment.cpp.o.d"
+  "/root/repo/src/wsn/event_queue.cpp" "src/wsn/CMakeFiles/vn2_wsn.dir/event_queue.cpp.o" "gcc" "src/wsn/CMakeFiles/vn2_wsn.dir/event_queue.cpp.o.d"
+  "/root/repo/src/wsn/faults.cpp" "src/wsn/CMakeFiles/vn2_wsn.dir/faults.cpp.o" "gcc" "src/wsn/CMakeFiles/vn2_wsn.dir/faults.cpp.o.d"
+  "/root/repo/src/wsn/neighbor_table.cpp" "src/wsn/CMakeFiles/vn2_wsn.dir/neighbor_table.cpp.o" "gcc" "src/wsn/CMakeFiles/vn2_wsn.dir/neighbor_table.cpp.o.d"
+  "/root/repo/src/wsn/node.cpp" "src/wsn/CMakeFiles/vn2_wsn.dir/node.cpp.o" "gcc" "src/wsn/CMakeFiles/vn2_wsn.dir/node.cpp.o.d"
+  "/root/repo/src/wsn/radio.cpp" "src/wsn/CMakeFiles/vn2_wsn.dir/radio.cpp.o" "gcc" "src/wsn/CMakeFiles/vn2_wsn.dir/radio.cpp.o.d"
+  "/root/repo/src/wsn/simulator.cpp" "src/wsn/CMakeFiles/vn2_wsn.dir/simulator.cpp.o" "gcc" "src/wsn/CMakeFiles/vn2_wsn.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/vn2_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

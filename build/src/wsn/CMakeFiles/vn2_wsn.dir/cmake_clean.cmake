@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vn2_wsn.dir/environment.cpp.o"
+  "CMakeFiles/vn2_wsn.dir/environment.cpp.o.d"
+  "CMakeFiles/vn2_wsn.dir/event_queue.cpp.o"
+  "CMakeFiles/vn2_wsn.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vn2_wsn.dir/faults.cpp.o"
+  "CMakeFiles/vn2_wsn.dir/faults.cpp.o.d"
+  "CMakeFiles/vn2_wsn.dir/neighbor_table.cpp.o"
+  "CMakeFiles/vn2_wsn.dir/neighbor_table.cpp.o.d"
+  "CMakeFiles/vn2_wsn.dir/node.cpp.o"
+  "CMakeFiles/vn2_wsn.dir/node.cpp.o.d"
+  "CMakeFiles/vn2_wsn.dir/radio.cpp.o"
+  "CMakeFiles/vn2_wsn.dir/radio.cpp.o.d"
+  "CMakeFiles/vn2_wsn.dir/simulator.cpp.o"
+  "CMakeFiles/vn2_wsn.dir/simulator.cpp.o.d"
+  "libvn2_wsn.a"
+  "libvn2_wsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vn2_wsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

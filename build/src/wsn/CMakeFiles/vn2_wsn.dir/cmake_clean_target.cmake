@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvn2_wsn.a"
+)

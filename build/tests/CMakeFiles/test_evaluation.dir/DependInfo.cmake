@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/evaluation_test.cpp" "tests/CMakeFiles/test_evaluation.dir/evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/test_evaluation.dir/evaluation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vn2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vn2_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/vn2_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vn2_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/vn2_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmf/CMakeFiles/vn2_nmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vn2_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vn2_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exception_detection.dir/exception_detection_test.cpp.o"
+  "CMakeFiles/test_exception_detection.dir/exception_detection_test.cpp.o.d"
+  "test_exception_detection"
+  "test_exception_detection.pdb"
+  "test_exception_detection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exception_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpretation.dir/interpretation_test.cpp.o"
+  "CMakeFiles/test_interpretation.dir/interpretation_test.cpp.o.d"
+  "test_interpretation"
+  "test_interpretation.pdb"
+  "test_interpretation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

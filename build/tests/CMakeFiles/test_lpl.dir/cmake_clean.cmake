@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpl.dir/lpl_test.cpp.o"
+  "CMakeFiles/test_lpl.dir/lpl_test.cpp.o.d"
+  "test_lpl"
+  "test_lpl.pdb"
+  "test_lpl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

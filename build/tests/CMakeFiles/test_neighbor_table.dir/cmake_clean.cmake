@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neighbor_table.dir/neighbor_table_test.cpp.o"
+  "CMakeFiles/test_neighbor_table.dir/neighbor_table_test.cpp.o.d"
+  "test_neighbor_table"
+  "test_neighbor_table.pdb"
+  "test_neighbor_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neighbor_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nmf.dir/nmf_test.cpp.o"
+  "CMakeFiles/test_nmf.dir/nmf_test.cpp.o.d"
+  "test_nmf"
+  "test_nmf.pdb"
+  "test_nmf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nmf_kl.dir/nmf_kl_test.cpp.o"
+  "CMakeFiles/test_nmf_kl.dir/nmf_kl_test.cpp.o.d"
+  "test_nmf_kl"
+  "test_nmf_kl.pdb"
+  "test_nmf_kl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nmf_kl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_silence.dir/silence_test.cpp.o"
+  "CMakeFiles/test_silence.dir/silence_test.cpp.o.d"
+  "test_silence"
+  "test_silence.pdb"
+  "test_silence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_silence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

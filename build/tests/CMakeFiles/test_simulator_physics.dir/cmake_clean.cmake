@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_physics.dir/simulator_physics_test.cpp.o"
+  "CMakeFiles/test_simulator_physics.dir/simulator_physics_test.cpp.o.d"
+  "test_simulator_physics"
+  "test_simulator_physics.pdb"
+  "test_simulator_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trickle.dir/trickle_test.cpp.o"
+  "CMakeFiles/test_trickle.dir/trickle_test.cpp.o.d"
+  "test_trickle"
+  "test_trickle.pdb"
+  "test_trickle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trickle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vn2.dir/vn2_cli.cpp.o"
+  "CMakeFiles/vn2.dir/vn2_cli.cpp.o.d"
+  "vn2"
+  "vn2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vn2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
