@@ -1,10 +1,21 @@
 // Micro-benchmarks: online diagnosis latency — the NNLS solve of Problem 3
 // per fresh state, across compression factors, plus batch throughput. This
 // is the cost a sink-side monitor pays per incoming report.
+//
+// Before the google-benchmark suites run, a serial-vs-parallel batch
+// diagnosis comparison writes wall-clock numbers to
+// BENCH_parallel_inference.json (skip with --skip-parallel-report).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
 
 #include "core/inference.hpp"
 #include "core/model.hpp"
+#include "core/parallel.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/random.hpp"
 #include "test_support_synthetic.hpp"
@@ -54,6 +65,25 @@ BENCHMARK(BM_BatchCorrelationStrengths)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+void BM_DiagnoseBatchThreads(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const TrainingReport report = trained_model(25);
+  const Matrix probes = vn2::bench_support::synthetic_states(batch, 6);
+  vn2::core::set_num_threads(threads);
+  for (auto _ : state) {
+    const auto diagnoses = vn2::core::diagnose_batch(report.model, probes);
+    benchmark::DoNotOptimize(diagnoses.data());
+  }
+  vn2::core::set_num_threads(0);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DiagnoseBatchThreads)
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RawNnls(benchmark::State& state) {
   const auto r = static_cast<std::size_t>(state.range(0));
   const Matrix a = vn2::linalg::random_uniform_matrix(86, r, 3, 0.0, 1.0);
@@ -78,6 +108,87 @@ void BM_ExceptionScore(benchmark::State& state) {
 }
 BENCHMARK(BM_ExceptionScore);
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Serial-vs-parallel batch diagnosis: the per-state NNLS solves across the
+// worker pool, with a weight-identity check between the two runs.
+void run_parallel_report(const char* json_path) {
+  const std::size_t batch = 2000;
+  const TrainingReport report = trained_model(25);
+  const Matrix probes = vn2::bench_support::synthetic_states(batch, 6);
+
+  const std::size_t hardware = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const std::size_t parallel_threads = std::max<std::size_t>(4, hardware);
+
+  vn2::core::set_num_threads(1);
+  auto start = std::chrono::steady_clock::now();
+  const auto serial = vn2::core::diagnose_batch(report.model, probes);
+  const double serial_seconds = seconds_since(start);
+
+  vn2::core::set_num_threads(parallel_threads);
+  start = std::chrono::steady_clock::now();
+  const auto parallel = vn2::core::diagnose_batch(report.model, probes);
+  const double parallel_seconds = seconds_since(start);
+  vn2::core::set_num_threads(0);
+
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].residual == parallel[i].residual &&
+                serial[i].weights.size() == parallel[i].weights.size();
+    for (std::size_t r = 0; identical && r < serial[i].weights.size(); ++r)
+      identical = serial[i].weights[r] == parallel[i].weights[r];
+  }
+
+  const double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  std::printf("diagnose_batch of %zu states (r=25): serial %.3fs, "
+              "%zu threads %.3fs, speedup %.2fx, weights %s\n",
+              batch, serial_seconds, parallel_threads, parallel_seconds,
+              speedup, identical ? "identical" : "DIVERGED");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"diagnose_batch\",\n"
+               "  \"batch\": %zu,\n"
+               "  \"rank\": 25,\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"serial\": {\"threads\": 1, \"seconds\": %.6f},\n"
+               "  \"parallel\": {\"threads\": %zu, \"seconds\": %.6f},\n"
+               "  \"speedup\": %.4f,\n"
+               "  \"bit_identical\": %s\n"
+               "}\n",
+               batch, hardware, serial_seconds, parallel_threads,
+               parallel_seconds, speedup, identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("parallel report -> %s\n", json_path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool skip_report = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--skip-parallel-report") == 0) {
+      skip_report = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!skip_report) run_parallel_report("BENCH_parallel_inference.json");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,24 @@
 // Micro-benchmarks: NMF training cost — per-iteration multiplicative update
 // and full factorization, across state counts and compression factors.
+//
+// Before the google-benchmark suites run, a serial-vs-parallel rank-sweep
+// comparison executes on a CitySee-scale exceptions matrix and writes its
+// wall-clock numbers (plus a bit-identical-output check on choose_rank) to
+// BENCH_parallel.json, so the parallel layer's speedup is tracked across
+// PRs. Skip it with --skip-parallel-report.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hpp"
 #include "linalg/random.hpp"
 #include "nmf/nmf.hpp"
+#include "nmf/rank_selection.hpp"
 #include "nmf/sparsify.hpp"
 
 namespace {
@@ -70,6 +85,124 @@ void BM_Sparsify(benchmark::State& state) {
 }
 BENCHMARK(BM_Sparsify)->Arg(1000)->Arg(20000);
 
+// Full rank sweep at a fixed thread budget — lets `--benchmark_filter` pit
+// thread counts against each other on any machine.
+void BM_RankSweepThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const Matrix e = exceptions_like(1000, 86, 7);
+  const std::vector<std::size_t> ranks = {5, 10, 15, 20, 25, 30};
+  vn2::nmf::RankSweepOptions options;
+  options.nmf.max_iterations = 30;
+  options.nmf.relative_tolerance = 0.0;
+  options.nmf.record_objective = false;
+  vn2::core::set_num_threads(threads);
+  for (auto _ : state) {
+    auto sweep = vn2::nmf::rank_sweep(e, ranks, options);
+    benchmark::DoNotOptimize(sweep.data());
+  }
+  vn2::core::set_num_threads(0);
+}
+BENCHMARK(BM_RankSweepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Serial-vs-parallel rank sweep on a CitySee-scale exceptions matrix. The
+// sweep must be bit-identical at every thread count; the JSON records both
+// the wall-clock numbers and that check.
+void run_parallel_report(const char* json_path) {
+  const std::size_t rows = 2000, cols = 86;
+  const Matrix e = exceptions_like(rows, cols, 7);
+  const std::vector<std::size_t> ranks = {5, 10, 15, 20, 25, 30};
+  vn2::nmf::RankSweepOptions options;
+  options.nmf.max_iterations = 60;
+  options.nmf.relative_tolerance = 0.0;  // Fixed work for comparability.
+  options.nmf.record_objective = false;
+
+  const std::size_t hardware = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const std::size_t parallel_threads = std::max<std::size_t>(4, hardware);
+
+  vn2::core::set_num_threads(1);
+  auto start = std::chrono::steady_clock::now();
+  const auto serial_sweep = vn2::nmf::rank_sweep(e, ranks, options);
+  const double serial_seconds = seconds_since(start);
+  const auto serial_choice = vn2::nmf::choose_rank(serial_sweep);
+
+  vn2::core::set_num_threads(parallel_threads);
+  start = std::chrono::steady_clock::now();
+  const auto parallel_sweep = vn2::nmf::rank_sweep(e, ranks, options);
+  const double parallel_seconds = seconds_since(start);
+  const auto parallel_choice = vn2::nmf::choose_rank(parallel_sweep);
+  vn2::core::set_num_threads(0);
+
+  bool identical = serial_sweep.size() == parallel_sweep.size() &&
+                   serial_choice.rank == parallel_choice.rank &&
+                   serial_choice.sweep_index == parallel_choice.sweep_index;
+  for (std::size_t i = 0; identical && i < serial_sweep.size(); ++i)
+    identical = serial_sweep[i].rank == parallel_sweep[i].rank &&
+                serial_sweep[i].accuracy_original ==
+                    parallel_sweep[i].accuracy_original &&
+                serial_sweep[i].accuracy_sparse ==
+                    parallel_sweep[i].accuracy_sparse;
+
+  const double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  std::printf("rank_sweep %zux%zu over ranks {5,10,15,20,25,30}: "
+              "serial %.2fs, %zu threads %.2fs, speedup %.2fx, "
+              "choose_rank %s (r=%zu)\n",
+              rows, cols, serial_seconds, parallel_threads, parallel_seconds,
+              speedup, identical ? "identical" : "DIVERGED",
+              parallel_choice.rank);
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"rank_sweep\",\n"
+               "  \"matrix\": {\"rows\": %zu, \"cols\": %zu},\n"
+               "  \"ranks\": [5, 10, 15, 20, 25, 30],\n"
+               "  \"nmf_iterations\": %zu,\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"serial\": {\"threads\": 1, \"seconds\": %.6f},\n"
+               "  \"parallel\": {\"threads\": %zu, \"seconds\": %.6f},\n"
+               "  \"speedup\": %.4f,\n"
+               "  \"chosen_rank\": %zu,\n"
+               "  \"bit_identical\": %s\n"
+               "}\n",
+               rows, cols, options.nmf.max_iterations, hardware,
+               serial_seconds, parallel_threads, parallel_seconds, speedup,
+               parallel_choice.rank, identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("parallel report -> %s\n", json_path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool skip_report = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--skip-parallel-report") == 0) {
+      skip_report = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!skip_report) run_parallel_report("BENCH_parallel.json");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

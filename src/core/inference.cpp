@@ -3,27 +3,29 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "core/parallel.hpp"
 
 namespace vn2::core {
 
 using linalg::Matrix;
 using linalg::Vector;
 
-Diagnosis diagnose(const Vn2Model& model, const Vector& raw_state,
-                   const DiagnoseOptions& options) {
-  if (!model.trained())
-    throw std::invalid_argument("diagnose: model is not trained");
-  if (raw_state.size() != metrics::kMetricCount)
-    throw std::invalid_argument("diagnose: state must have 43 entries");
+namespace {
 
+// One diagnosis against a pre-transposed Ψᵀ, so batch callers pay for the
+// transpose once instead of once per state.
+Diagnosis diagnose_against(const Matrix& psi_t, const Vn2Model& model,
+                           const Vector& raw_state,
+                           const DiagnoseOptions& options) {
   Diagnosis diagnosis;
   diagnosis.exception_score = model.exception_score(raw_state);
   diagnosis.is_exception = model.is_exception(raw_state);
 
   // NNLS against A = Ψᵀ (86 × r), b = encoded state.
   const Vector encoded = model.encoder().encode(raw_state);
-  const Matrix a = linalg::transpose(model.psi());
-  linalg::NnlsResult solution = linalg::nnls(a, encoded, options.nnls);
+  linalg::NnlsResult solution = linalg::nnls(psi_t, encoded, options.nnls);
   diagnosis.weights = std::move(solution.x);
   diagnosis.residual = solution.residual_norm;
 
@@ -41,21 +43,52 @@ Diagnosis diagnose(const Vn2Model& model, const Vector& raw_state,
   return diagnosis;
 }
 
+void check_batch_input(const Vn2Model& model, const Matrix& raw_states,
+                       const char* who) {
+  if (!model.trained())
+    throw std::invalid_argument(std::string(who) + ": model is not trained");
+  if (raw_states.cols() != metrics::kMetricCount)
+    throw std::invalid_argument(std::string(who) + ": need 43 columns");
+}
+
+}  // namespace
+
+Diagnosis diagnose(const Vn2Model& model, const Vector& raw_state,
+                   const DiagnoseOptions& options) {
+  if (!model.trained())
+    throw std::invalid_argument("diagnose: model is not trained");
+  if (raw_state.size() != metrics::kMetricCount)
+    throw std::invalid_argument("diagnose: state must have 43 entries");
+  return diagnose_against(linalg::transpose(model.psi()), model, raw_state,
+                          options);
+}
+
+std::vector<Diagnosis> diagnose_batch(const Vn2Model& model,
+                                      const Matrix& raw_states,
+                                      const DiagnoseOptions& options) {
+  check_batch_input(model, raw_states, "diagnose_batch");
+  const Matrix a = linalg::transpose(model.psi());
+  // Each state's NNLS is independent; slot i is written only by task i, so
+  // the batch matches the serial per-state loop at any thread count.
+  std::vector<Diagnosis> diagnoses(raw_states.rows());
+  parallel_for(0, raw_states.rows(), 8, [&](std::size_t i) {
+    diagnoses[i] =
+        diagnose_against(a, model, raw_states.row_vector(i), options);
+  });
+  return diagnoses;
+}
+
 Matrix correlation_strengths(const Vn2Model& model, const Matrix& raw_states,
                              const DiagnoseOptions& options) {
-  if (!model.trained())
-    throw std::invalid_argument("correlation_strengths: model not trained");
-  if (raw_states.cols() != metrics::kMetricCount)
-    throw std::invalid_argument("correlation_strengths: need 43 columns");
-
+  check_batch_input(model, raw_states, "correlation_strengths");
   const Matrix a = linalg::transpose(model.psi());
   Matrix w(raw_states.rows(), model.rank());
-  for (std::size_t i = 0; i < raw_states.rows(); ++i) {
+  parallel_for(0, raw_states.rows(), 8, [&](std::size_t i) {
     const Vector encoded =
         model.encoder().encode(raw_states.row_vector(i));
     const linalg::NnlsResult solution = linalg::nnls(a, encoded, options.nnls);
     for (std::size_t r = 0; r < model.rank(); ++r) w(i, r) = solution.x[r];
-  }
+  });
   return w;
 }
 

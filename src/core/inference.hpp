@@ -40,6 +40,14 @@ struct Diagnosis {
 Diagnosis diagnose(const Vn2Model& model, const linalg::Vector& raw_state,
                    const DiagnoseOptions& options = {});
 
+/// Diagnoses a batch of raw states (n × 43), solving the independent
+/// per-state NNLS problems across the global worker pool (see
+/// core/parallel.hpp). Result i equals diagnose(model, row i, options)
+/// bit-for-bit at any thread count; Ψᵀ is formed once for the whole batch.
+std::vector<Diagnosis> diagnose_batch(const Vn2Model& model,
+                                      const linalg::Matrix& raw_states,
+                                      const DiagnoseOptions& options = {});
+
 /// Computes the full correlation-strength matrix W (n × r) for a batch of
 /// raw states — the data behind the paper's Fig. 3(c), 5(b), 6(b) scatters.
 linalg::Matrix correlation_strengths(const Vn2Model& model,

@@ -39,6 +39,11 @@ Diagnosis Vn2Tool::diagnose_state(const linalg::Vector& raw) const {
   return diagnose(model_, raw, options_.diagnose);
 }
 
+std::vector<Diagnosis> Vn2Tool::diagnose_states(
+    const linalg::Matrix& raw) const {
+  return diagnose_batch(model_, raw, options_.diagnose);
+}
+
 Vn2Tool::Explanation Vn2Tool::explain(const linalg::Vector& raw) const {
   Explanation out;
   out.diagnosis = diagnose_state(raw);

@@ -63,6 +63,11 @@ class Vn2Tool {
   /// Diagnoses one raw state (43 metric diffs).
   [[nodiscard]] Diagnosis diagnose_state(const linalg::Vector& raw) const;
 
+  /// Diagnoses a batch of raw states (n × 43) across the global worker
+  /// pool; entry i equals diagnose_state(row i) at any thread count.
+  [[nodiscard]] std::vector<Diagnosis> diagnose_states(
+      const linalg::Matrix& raw) const;
+
   /// A diagnosis joined with interpretation into a readable report.
   struct Explanation {
     Diagnosis diagnosis;

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace vn2::linalg {
 
 namespace {
@@ -175,8 +177,11 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   Matrix out(a.rows(), b.cols(), 0.0);
   const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
-  // i-k-j loop order keeps both B and the output row-contiguous.
-  for (std::size_t i = 0; i < n; ++i) {
+  // i-k-j loop order keeps both B and the output row-contiguous. Each
+  // output row depends only on row i of A and all of B, so the row loop
+  // partitions cleanly across threads and the result is bit-identical to
+  // the serial loop at any thread count.
+  auto compute_row = [&](std::size_t i) {
     const double* arow = a.data() + i * k;
     double* orow = out.data() + i * m;
     for (std::size_t p = 0; p < k; ++p) {
@@ -185,6 +190,17 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
       const double* brow = b.data() + p * m;
       for (std::size_t j = 0; j < m; ++j) orow[j] += aip * brow[j];
     }
+  };
+  // Only go parallel when there is enough arithmetic to amortize the
+  // dispatch; tiny products (the vast majority of calls in tests) take the
+  // plain loop.
+  constexpr std::size_t kParallelFlopThreshold = 64 * 1024;
+  const std::size_t threads = core::num_threads();
+  if (threads > 1 && n > 1 && n * k * m >= kParallelFlopThreshold) {
+    const std::size_t grain = std::max<std::size_t>(1, n / (4 * threads));
+    core::parallel_for(0, n, grain, compute_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) compute_row(i);
   }
   return out;
 }

@@ -5,18 +5,27 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace vn2::nmf {
 
 std::vector<RankPoint> rank_sweep(const linalg::Matrix& e,
                                   const std::vector<std::size_t>& ranks,
                                   const RankSweepOptions& options) {
-  std::vector<RankPoint> sweep;
-  sweep.reserve(ranks.size());
   const std::size_t max_rank = std::min(e.rows(), e.cols());
-  for (std::size_t r : ranks) {
-    if (r == 0 || r > max_rank) continue;
+  std::vector<std::size_t> valid;
+  valid.reserve(ranks.size());
+  for (std::size_t r : ranks)
+    if (r >= 1 && r <= max_rank) valid.push_back(r);
+
+  // Each rank's factorization is seeded independently (the golden-ratio
+  // stride decorrelates initializations while staying deterministic), so
+  // the sweep is embarrassingly parallel: every slot is written by exactly
+  // one rank and the output order matches the serial loop.
+  std::vector<RankPoint> sweep(valid.size());
+  core::parallel_for(0, valid.size(), 1, [&](std::size_t index) {
+    const std::size_t r = valid[index];
     NmfOptions nmf_options = options.nmf;
-    // Decorrelate initializations across ranks while staying deterministic.
     nmf_options.seed = options.nmf.seed + r * 0x9e3779b9ULL;
     NmfResult model = factorize(e, r, nmf_options);
     RankPoint point;
@@ -25,8 +34,8 @@ std::vector<RankPoint> rank_sweep(const linalg::Matrix& e,
     SparsifyResult sparse = sparsify(model.w, options.sparsify);
     point.accuracy_sparse =
         approximation_accuracy(e, sparse.w_sparse, model.psi);
-    sweep.push_back(point);
-  }
+    sweep[index] = point;
+  });
   return sweep;
 }
 

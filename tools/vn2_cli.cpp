@@ -1,7 +1,7 @@
 // vn2 — command-line front end to the VN2 pipeline.
 //
 //   vn2 simulate --scenario tiny|testbed|citysee [--days D] [--seed S]
-//                [--spacing M] --out trace.csv
+//                [--spacing M] [--runs N] --out trace.csv
 //   vn2 train    --trace trace.csv [--rank R] [--threshold T]
 //                [--skip-extraction] --out model.vn2
 //   vn2 inspect  --model model.vn2
@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/incident.hpp"
+#include "core/parallel.hpp"
 #include "core/silence.hpp"
 #include "core/vn2.hpp"
 #include "scenario/scenario.hpp"
@@ -74,15 +75,30 @@ int usage() {
       stderr,
       "usage:\n"
       "  vn2 simulate  --scenario tiny|testbed|citysee [--days D] [--seed S]\n"
-      "                [--nodes N] [--spacing M] --out trace.csv\n"
+      "                [--nodes N] [--spacing M] [--runs R] --out trace.csv\n"
       "  vn2 train     --trace trace.csv [--rank R] [--threshold T]\n"
       "                [--skip-extraction] --out model.vn2\n"
       "  vn2 inspect   --model model.vn2\n"
       "  vn2 diagnose  --model model.vn2 --trace trace.csv [--top K] [--all]\n"
       "  vn2 incidents --model model.vn2 --trace trace.csv [--gap seconds]\n"
       "  vn2 silent    --trace trace.csv [--factor F]\n"
-      "  vn2 stats     --trace trace.csv\n");
+      "  vn2 stats     --trace trace.csv\n"
+      "\n"
+      "global options:\n"
+      "  --threads N   thread budget for analysis/simulation hot paths\n"
+      "                (default: hardware concurrency; 1 = fully serial)\n");
   return 2;
+}
+
+/// Output path of run `run` in a batch: "trace.csv" -> "trace.run3.csv".
+std::string run_output_path(const std::string& out, std::size_t run) {
+  const std::size_t dot = out.find_last_of('.');
+  const std::size_t slash = out.find_last_of('/');
+  const std::string tag = ".run" + std::to_string(run);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return out + tag;
+  return out.substr(0, dot) + tag + out.substr(dot);
 }
 
 int cmd_simulate(const Args& args) {
@@ -93,37 +109,92 @@ int cmd_simulate(const Args& args) {
     return 2;
   }
   const auto seed = static_cast<std::uint64_t>(args.number("seed", 7));
+  const auto runs = static_cast<std::size_t>(args.number("runs", 1));
+  if (runs == 0) {
+    std::fprintf(stderr, "simulate: --runs must be >= 1\n");
+    return 2;
+  }
 
-  scenario::ScenarioBundle bundle;
-  if (kind == "citysee") {
-    scenario::CityseeParams params;
-    params.days = args.number("days", 1.0);
-    params.node_count =
-        static_cast<std::size_t>(args.number("nodes", 286));
-    params.seed = seed;
-    bundle = scenario::citysee_field(params);
-  } else if (kind == "testbed") {
-    scenario::TestbedParams params;
-    params.seed = seed;
-    bundle = scenario::testbed(params);
-  } else if (kind == "tiny") {
-    bundle = scenario::tiny(static_cast<std::size_t>(args.number("nodes", 16)),
-                            args.number("days", 0.125) * 86400.0, seed,
-                            args.number("spacing", 8.0));
-  } else {
+  // Each run gets its own seed, so a batch is N independent replications
+  // of the scenario; run k's trace is identical whether it ran alone
+  // (--seed seed+k) or inside a concurrent batch.
+  auto make_bundle = [&](std::uint64_t run_seed) {
+    scenario::ScenarioBundle bundle;
+    if (kind == "citysee") {
+      scenario::CityseeParams params;
+      params.days = args.number("days", 1.0);
+      params.node_count =
+          static_cast<std::size_t>(args.number("nodes", 286));
+      params.seed = run_seed;
+      bundle = scenario::citysee_field(params);
+    } else if (kind == "testbed") {
+      scenario::TestbedParams params;
+      params.seed = run_seed;
+      bundle = scenario::testbed(params);
+    } else {
+      bundle =
+          scenario::tiny(static_cast<std::size_t>(args.number("nodes", 16)),
+                         args.number("days", 0.125) * 86400.0, run_seed,
+                         args.number("spacing", 8.0));
+    }
+    return bundle;
+  };
+  if (kind != "citysee" && kind != "testbed" && kind != "tiny") {
     std::fprintf(stderr, "simulate: unknown scenario '%s'\n", kind.c_str());
     return 2;
   }
 
-  std::printf("simulating '%s': %zu nodes, %.2f h...\n", kind.c_str(),
-              bundle.config.positions.size(), bundle.config.duration / 3600.0);
-  wsn::Simulator sim = bundle.make_simulator();
-  const wsn::SimulationResult result = sim.run();
-  const trace::Trace log = trace::build_trace(result);
-  trace::write_trace_csv_file(out, log);
-  std::printf("PRR %.3f, %zu snapshots from %zu nodes -> %s\n",
-              trace::overall_prr(result), log.total_snapshots(),
-              log.nodes.size(), out.c_str());
+  if (runs == 1) {
+    scenario::ScenarioBundle bundle = make_bundle(seed);
+    std::printf("simulating '%s': %zu nodes, %.2f h...\n", kind.c_str(),
+                bundle.config.positions.size(),
+                bundle.config.duration / 3600.0);
+    wsn::Simulator sim = bundle.make_simulator();
+    const wsn::SimulationResult result = sim.run();
+    const trace::Trace log = trace::build_trace(result);
+    trace::write_trace_csv_file(out, log);
+    std::printf("PRR %.3f, %zu snapshots from %zu nodes -> %s\n",
+                trace::overall_prr(result), log.total_snapshots(),
+                log.nodes.size(), out.c_str());
+    return 0;
+  }
+
+  struct RunSummary {
+    std::string path;
+    double prr = 0.0;
+    std::size_t snapshots = 0;
+    std::size_t nodes = 0;
+  };
+  std::vector<RunSummary> summaries(runs);
+  std::printf("simulating '%s': %zu runs (seeds %llu..%llu) on %zu "
+              "threads...\n",
+              kind.c_str(), runs, static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed + runs - 1),
+              core::num_threads());
+  core::parallel_for(0, runs, 1, [&](std::size_t run) {
+    scenario::ScenarioBundle bundle = make_bundle(seed + run);
+    wsn::Simulator sim = bundle.make_simulator();
+    const wsn::SimulationResult result = sim.run();
+    const trace::Trace log = trace::build_trace(result);
+    RunSummary& summary = summaries[run];
+    summary.path = run_output_path(out, run);
+    trace::write_trace_csv_file(summary.path, log);
+    summary.prr = trace::overall_prr(result);
+    summary.snapshots = log.total_snapshots();
+    summary.nodes = log.nodes.size();
+  });
+  double prr_total = 0.0;
+  std::size_t snapshot_total = 0;
+  for (std::size_t run = 0; run < runs; ++run) {
+    const RunSummary& summary = summaries[run];
+    std::printf("run %zu: PRR %.3f, %zu snapshots from %zu nodes -> %s\n",
+                run, summary.prr, summary.snapshots, summary.nodes,
+                summary.path.c_str());
+    prr_total += summary.prr;
+    snapshot_total += summary.snapshots;
+  }
+  std::printf("%zu runs: mean PRR %.3f, %zu snapshots total\n", runs,
+              prr_total / static_cast<double>(runs), snapshot_total);
   return 0;
 }
 
@@ -228,10 +299,9 @@ int cmd_incidents(const Args& args) {
       core::Vn2Tool::from_model(core::Vn2Model::load(model_path));
   const auto states = load_states(trace_path);
 
-  std::vector<core::Diagnosis> diagnoses;
-  diagnoses.reserve(states.size());
-  for (const trace::StateVector& state : states)
-    diagnoses.push_back(tool.diagnose_state(state.delta));
+  // The per-state NNLS solves are independent — run them on the pool.
+  const std::vector<core::Diagnosis> diagnoses =
+      tool.diagnose_states(trace::states_matrix(states));
 
   core::IncidentOptions options;
   options.merge_gap = args.number("gap", 1800.0);
@@ -290,6 +360,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args = parse_args(argc, argv, 2);
+    // Global thread budget: applies to every subcommand's hot paths
+    // (matmul, rank sweep, batch NNLS, batch simulation).
+    if (!args.get("threads").empty())
+      vn2::core::set_num_threads(
+          static_cast<std::size_t>(args.number("threads", 0)));
     if (command == "simulate") return cmd_simulate(args);
     if (command == "train") return cmd_train(args);
     if (command == "inspect") return cmd_inspect(args);
