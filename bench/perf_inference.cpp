@@ -109,6 +109,7 @@ void BM_ExceptionScore(benchmark::State& state) {
 BENCHMARK(BM_ExceptionScore);
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
+  // vn2-lint: allow(nondeterminism-clock)
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
@@ -126,11 +127,13 @@ void run_parallel_report(const char* json_path) {
   const std::size_t parallel_threads = std::max<std::size_t>(4, hardware);
 
   vn2::core::set_num_threads(1);
+  // vn2-lint: allow(nondeterminism-clock)
   auto start = std::chrono::steady_clock::now();
   const auto serial = vn2::core::diagnose_batch(report.model, probes);
   const double serial_seconds = seconds_since(start);
 
   vn2::core::set_num_threads(parallel_threads);
+  // vn2-lint: allow(nondeterminism-clock)
   start = std::chrono::steady_clock::now();
   const auto parallel = vn2::core::diagnose_batch(report.model, probes);
   const double parallel_seconds = seconds_since(start);

@@ -109,6 +109,7 @@ BENCHMARK(BM_RankSweepThreads)
     ->Unit(benchmark::kMillisecond);
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
+  // vn2-lint: allow(nondeterminism-clock)
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
@@ -131,12 +132,14 @@ void run_parallel_report(const char* json_path) {
   const std::size_t parallel_threads = std::max<std::size_t>(4, hardware);
 
   vn2::core::set_num_threads(1);
+  // vn2-lint: allow(nondeterminism-clock)
   auto start = std::chrono::steady_clock::now();
   const auto serial_sweep = vn2::nmf::rank_sweep(e, ranks, options);
   const double serial_seconds = seconds_since(start);
   const auto serial_choice = vn2::nmf::choose_rank(serial_sweep);
 
   vn2::core::set_num_threads(parallel_threads);
+  // vn2-lint: allow(nondeterminism-clock)
   start = std::chrono::steady_clock::now();
   const auto parallel_sweep = vn2::nmf::rank_sweep(e, ranks, options);
   const double parallel_seconds = seconds_since(start);

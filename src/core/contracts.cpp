@@ -1,0 +1,7 @@
+#include "core/contracts.hpp"
+
+namespace vn2::core {
+
+bool contracts_active() noexcept { return VN2_CONTRACTS_ACTIVE != 0; }
+
+}  // namespace vn2::core

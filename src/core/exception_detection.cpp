@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace vn2::core {
 
 using linalg::Matrix;
@@ -59,6 +61,16 @@ ExceptionDetectionResult detect_exceptions(
       if (result.scores[i] / result.max_score >= options.threshold)
         result.exception_rows.push_back(i);
   }
+  // is_exception() binary-searches exception_rows, so sortedness and row
+  // range are load-bearing invariants, not just tidiness.
+  VN2_ASSERT(result.scores.size() == n,
+             "detect_exceptions: one epsilon score per state row");
+  VN2_ASSERT(std::is_sorted(result.exception_rows.begin(),
+                            result.exception_rows.end()),
+             "detect_exceptions: exception rows must be sorted");
+  VN2_ASSERT(result.exception_rows.empty() ||
+                 result.exception_rows.back() < n,
+             "detect_exceptions: exception rows must index into states");
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/contracts.hpp"
 #include "core/parallel.hpp"
 
 namespace vn2::core {
@@ -40,6 +41,10 @@ Diagnosis diagnose_against(const Matrix& psi_t, const Vn2Model& model,
             [](const RankedCause& a_, const RankedCause& b_) {
               return a_.strength > b_.strength;
             });
+  VN2_ASSERT(diagnosis.weights.size() == model.rank(),
+             "diagnose: one correlation strength per root cause");
+  VN2_ASSERT(diagnosis.ranked.size() <= diagnosis.weights.size(),
+             "diagnose: ranked causes are a subset of the weights");
   return diagnosis;
 }
 
@@ -47,6 +52,8 @@ void check_batch_input(const Vn2Model& model, const Matrix& raw_states,
                        const char* who) {
   if (!model.trained())
     throw std::invalid_argument(std::string(who) + ": model is not trained");
+  VN2_REQUIRE(raw_states.cols() == metrics::kMetricCount,
+              "batch states must match the 43-metric schema");
   if (raw_states.cols() != metrics::kMetricCount)
     throw std::invalid_argument(std::string(who) + ": need 43 columns");
 }
@@ -57,6 +64,8 @@ Diagnosis diagnose(const Vn2Model& model, const Vector& raw_state,
                    const DiagnoseOptions& options) {
   if (!model.trained())
     throw std::invalid_argument("diagnose: model is not trained");
+  VN2_REQUIRE(raw_state.size() == metrics::kMetricCount,
+              "diagnose: state vector must match the 43-metric schema");
   if (raw_state.size() != metrics::kMetricCount)
     throw std::invalid_argument("diagnose: state must have 43 entries");
   return diagnose_against(linalg::transpose(model.psi()), model, raw_state,

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace vn2::core {
 
 using linalg::Matrix;
@@ -91,6 +93,9 @@ Vn2Model Vn2Model::load(const std::string& path) {
 }
 
 TrainingReport train(const Matrix& raw_states, const TrainingOptions& options) {
+  VN2_REQUIRE(raw_states.rows() > 0 &&
+                  raw_states.cols() == metrics::kMetricCount,
+              "train: states must match the 43-metric schema");
   if (raw_states.rows() == 0 || raw_states.cols() != metrics::kMetricCount)
     throw std::invalid_argument("train: need a non-empty n x 43 state matrix");
 

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "core/parallel.hpp"
 
 namespace vn2::linalg {
@@ -174,6 +175,7 @@ Matrix operator*(Matrix m, double s) { return m *= s; }
 Matrix operator*(double s, Matrix m) { return m *= s; }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
+  VN2_REQUIRE(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   Matrix out(a.rows(), b.cols(), 0.0);
   const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
@@ -206,6 +208,7 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 }
 
 Vector matvec(const Matrix& a, const Vector& x) {
+  VN2_REQUIRE(a.cols() == x.size(), "matvec: dimension mismatch");
   require(a.cols() == x.size(), "matvec: dimension mismatch");
   Vector out(a.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -218,6 +221,7 @@ Vector matvec(const Matrix& a, const Vector& x) {
 }
 
 Vector vecmat(const Vector& x, const Matrix& a) {
+  VN2_REQUIRE(a.rows() == x.size(), "vecmat: dimension mismatch");
   require(a.rows() == x.size(), "vecmat: dimension mismatch");
   Vector out(a.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {

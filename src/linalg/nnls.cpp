@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "linalg/solve.hpp"
 
 namespace vn2::linalg {
@@ -47,9 +48,25 @@ double residual_norm_of(const Matrix& a, const Vector& x, const Vector& b) {
   return norm2(r);
 }
 
+// Postconditions every NNLS solver must satisfy: the solution has one
+// entry per column of A, every entry is non-negative (that is the whole
+// point of NNLS), and the residual norm is a finite non-negative number.
+void assert_feasible([[maybe_unused]] const Matrix& a,
+                     [[maybe_unused]] const Vector& x,
+                     [[maybe_unused]] double residual) {
+#if VN2_CONTRACTS_ACTIVE
+  VN2_ASSERT(x.size() == a.cols(), "nnls: solution length must match cols(A)");
+  for (std::size_t j = 0; j < x.size(); ++j)
+    VN2_ASSERT(x[j] >= 0.0, "nnls: solution must be non-negative");
+  VN2_ASSERT(std::isfinite(residual) && residual >= 0.0,
+             "nnls: residual norm must be finite and non-negative");
+#endif
+}
+
 }  // namespace
 
 NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
+  VN2_REQUIRE(a.rows() == b.size(), "nnls: A rows must match b size");
   if (a.rows() != b.size())
     throw std::invalid_argument("nnls: A rows must match b size");
   const std::size_t n = a.cols();
@@ -84,6 +101,7 @@ NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
     if (best_j == n) {
       // KKT satisfied: active gradients all ≤ tolerance.
       const double residual = residual_norm_of(a, x, b);
+      assert_feasible(a, x, residual);
       return {std::move(x), residual, iter, true};
     }
 
@@ -130,11 +148,13 @@ NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
     }
   }
   const double residual = residual_norm_of(a, x, b);
+  assert_feasible(a, x, residual);
   return {std::move(x), residual, iter, false};
 }
 
 NnlsResult nnls_projected_gradient(const Matrix& a, const Vector& b,
                                    const ProjectedGradientOptions& options) {
+  VN2_REQUIRE(a.rows() == b.size(), "nnls_projected_gradient: size mismatch");
   if (a.rows() != b.size())
     throw std::invalid_argument("nnls_projected_gradient: size mismatch");
   const std::size_t n = a.cols();
@@ -150,6 +170,7 @@ NnlsResult nnls_projected_gradient(const Matrix& a, const Vector& b,
     lipschitz = std::max(lipschitz, rowsum);
   }
   if (lipschitz <= 0.0) {
+    assert_feasible(a, x, norm2(b));
     return {std::move(x), norm2(b), 0, true};
   }
   const double step = 1.0 / lipschitz;
@@ -174,6 +195,7 @@ NnlsResult nnls_projected_gradient(const Matrix& a, const Vector& b,
   const bool converged = iter < options.max_iterations ||
                          options.max_iterations == 0;
   const double residual = residual_norm_of(a, x, b);
+  assert_feasible(a, x, residual);
   return {std::move(x), residual, iter, converged};
 }
 

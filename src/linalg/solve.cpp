@@ -3,9 +3,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace vn2::linalg {
 
 Matrix cholesky_factor(const Matrix& a, double min_pivot) {
+  VN2_REQUIRE(a.rows() == a.cols(), "cholesky_factor: matrix must be square");
   if (a.rows() != a.cols())
     throw std::invalid_argument("cholesky_factor: matrix must be square");
   const std::size_t n = a.rows();
@@ -22,11 +25,14 @@ Matrix cholesky_factor(const Matrix& a, double min_pivot) {
         l(i, j) = acc / l(j, j);
       }
     }
+    VN2_ASSERT(std::isfinite(l(i, i)) && l(i, i) > 0.0,
+               "cholesky_factor: pivot must stay positive and finite");
   }
   return l;
 }
 
 Vector cholesky_solve(const Matrix& a, const Vector& b) {
+  VN2_REQUIRE(a.rows() == b.size(), "cholesky_solve: size mismatch");
   if (a.rows() != b.size())
     throw std::invalid_argument("cholesky_solve: size mismatch");
   const Matrix l = cholesky_factor(a);
@@ -45,6 +51,8 @@ Vector cholesky_solve(const Matrix& a, const Vector& b) {
     for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
     x[ii] = acc / l(ii, ii);
   }
+  VN2_ASSERT(x.size() == b.size(),
+             "cholesky_solve: solution length must match rhs");
   return x;
 }
 

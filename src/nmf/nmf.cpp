@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "linalg/random.hpp"
 
 namespace vn2::nmf {
@@ -30,6 +31,9 @@ double NmfResult::approximation_accuracy(const Matrix& e) const {
 }
 
 void multiplicative_update(const Matrix& e, Matrix& w, Matrix& psi) {
+  VN2_REQUIRE(w.rows() == e.rows() && psi.cols() == e.cols() &&
+                  w.cols() == psi.rows(),
+              "multiplicative_update: shape mismatch");
   if (w.rows() != e.rows() || psi.cols() != e.cols() ||
       w.cols() != psi.rows())
     throw std::invalid_argument("multiplicative_update: shape mismatch");
@@ -56,6 +60,13 @@ void multiplicative_update(const Matrix& e, Matrix& w, Matrix& psi) {
       w.data()[i] *= numerator.data()[i] / denom;
     }
   }
+  // The multiplicative update only scales entries by non-negative ratios,
+  // so non-negativity of the factors is preserved — unless a caller fed in
+  // a factor with a negative entry, which this contract surfaces.
+  VN2_ASSERT(linalg::is_nonnegative(w),
+             "multiplicative_update: W must stay non-negative");
+  VN2_ASSERT(linalg::is_nonnegative(psi),
+             "multiplicative_update: Psi must stay non-negative");
 }
 
 NmfResult factorize(const Matrix& e, std::size_t rank,
@@ -63,6 +74,8 @@ NmfResult factorize(const Matrix& e, std::size_t rank,
   if (e.empty()) throw std::invalid_argument("nmf: empty input matrix");
   if (!linalg::is_nonnegative(e))
     throw std::invalid_argument("nmf: input matrix must be non-negative");
+  VN2_REQUIRE(rank >= 1 && rank <= std::min(e.rows(), e.cols()),
+              "nmf: rank must be in [1, min(n, m)]");
   if (rank == 0 || rank > std::min(e.rows(), e.cols()))
     throw std::invalid_argument("nmf: rank must be in [1, min(n, m)]");
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "core/parallel.hpp"
 
 namespace vn2::nmf {
@@ -17,6 +18,8 @@ std::vector<RankPoint> rank_sweep(const linalg::Matrix& e,
   valid.reserve(ranks.size());
   for (std::size_t r : ranks)
     if (r >= 1 && r <= max_rank) valid.push_back(r);
+  VN2_ASSERT(valid.size() <= ranks.size(),
+             "rank_sweep: candidate filter must not invent ranks");
 
   // Each rank's factorization is seeded independently (the golden-ratio
   // stride decorrelates initializations while staying deterministic), so
@@ -36,11 +39,17 @@ std::vector<RankPoint> rank_sweep(const linalg::Matrix& e,
         approximation_accuracy(e, sparse.w_sparse, model.psi);
     sweep[index] = point;
   });
+#if VN2_CONTRACTS_ACTIVE
+  for (const RankPoint& point : sweep)
+    VN2_ASSERT(point.rank >= 1 && point.rank <= max_rank,
+               "rank_sweep: every swept rank must be in [1, min(n, m)]");
+#endif
   return sweep;
 }
 
 RankChoice choose_rank(const std::vector<RankPoint>& sweep,
                        double knee_fraction, double divergence_fraction) {
+  VN2_REQUIRE(!sweep.empty(), "choose_rank: empty sweep");
   if (sweep.empty())
     throw std::invalid_argument("choose_rank: empty sweep");
 
@@ -103,6 +112,7 @@ RankChoice choose_rank(const std::vector<RankPoint>& sweep,
   // 40. When α flattens before sparsity degrades (floor below ceiling),
   // Occam's razor decides: extra rank buys nothing, stop at the knee.
   const std::size_t choice = std::min(floor_index, ceiling_index);
+  VN2_ASSERT(choice < n, "choose_rank: chosen index must be inside the sweep");
   return {sorted[choice].rank, choice};
 }
 

@@ -30,7 +30,7 @@ TEST(Sympathy, NormalStateYieldsNoDiagnosis) {
 
 TEST(Sympathy, RejectsWrongSize) {
   SympathyDiagnoser diagnoser;
-  EXPECT_THROW(diagnoser.diagnose(Vector(5)), std::invalid_argument);
+  EXPECT_THROW((void)diagnoser.diagnose(Vector(5)), std::invalid_argument);
   EXPECT_THROW(SympathyDiagnoser::fit(Matrix(2, 5)), std::invalid_argument);
 }
 

@@ -1,0 +1,3 @@
+// Fixture: float in a numeric kernel (float-in-numeric). Linted under a
+// virtual src/linalg/ path; would be legal elsewhere in the tree.
+float half_precision_creep(float x) { return x * 0.5f; }

@@ -1,0 +1,9 @@
+// Fixture: direct stdout IO in library code (io-in-library). Linted under
+// a virtual src/core/ path; fine in tools/, bench/ and examples/.
+#include <cstdio>
+#include <iostream>
+
+void chatty_library(int value) {
+  std::cout << "value = " << value << '\n';
+  printf("value = %d\n", value);
+}

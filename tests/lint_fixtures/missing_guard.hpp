@@ -1,0 +1,2 @@
+// Fixture: header without #pragma once or an include guard (include-guard).
+inline int twice(int x) { return 2 * x; }

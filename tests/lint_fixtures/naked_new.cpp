@@ -1,0 +1,12 @@
+// Fixture: naked new/delete (naked-new). The deleted copy constructor is a
+// non-violation the rule must not trip on.
+struct Pinned {
+  Pinned() = default;
+  Pinned(const Pinned&) = delete;
+};
+
+int* leak_prone() {
+  int* p = new int(7);
+  delete p;
+  return new int[4];
+}

@@ -1,0 +1,9 @@
+// Fixture: wall-clock time in analysis code (nondeterminism-clock).
+#include <chrono>
+#include <ctime>
+
+double wall_seconds() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count() +
+         static_cast<double>(time(nullptr));
+}

@@ -1,0 +1,8 @@
+// Fixture: unsanctioned RNG in analysis code (nondeterminism-random).
+#include <cstdlib>
+#include <random>
+
+int unseeded_entropy() {
+  std::random_device entropy;
+  return static_cast<int>(entropy()) + rand();
+}

@@ -1,0 +1,14 @@
+// Fixture: every violation here carries a vn2-lint suppression comment —
+// one in trailing form, one in the line-above form — so the linter must
+// report nothing.
+#include <cstdlib>
+#include <iostream>
+
+int sanctioned_entropy() {
+  return rand();  // vn2-lint: allow(nondeterminism-random)
+}
+
+void sanctioned_output(int value) {
+  // vn2-lint: allow(io-in-library)
+  std::cout << value << '\n';
+}

@@ -1,0 +1,9 @@
+// Fixture: using namespace at namespace scope in a header
+// (using-namespace-header).
+#pragma once
+
+#include <vector>
+
+using namespace std;
+
+inline vector<int> make_empty() { return {}; }

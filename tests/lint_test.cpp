@@ -1,0 +1,185 @@
+// Tests for the vn2-lint static checker: every rule fires on its minimal
+// violating fixture, suppression comments silence findings, and the
+// near-miss fixture stays clean. Fixtures live in tests/lint_fixtures/
+// (found via VN2_LINT_FIXTURE_DIR, set by tests/CMakeLists.txt); they are
+// linted, never compiled.
+#include "vn2_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace vn2::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(VN2_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::set<std::string> rules_fired(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& f : findings) rules.insert(f.rule);
+  return rules;
+}
+
+bool fires_on(const std::string& fixture_name,
+              const std::string& virtual_path, const std::string& rule) {
+  const auto findings = lint_content(virtual_path, fixture(fixture_name));
+  return rules_fired(findings).count(rule) > 0;
+}
+
+TEST(Lint, NondeterminismRandomFires) {
+  EXPECT_TRUE(fires_on("nondeterminism_random.cpp", "src/core/bad.cpp",
+                       "nondeterminism-random"));
+}
+
+TEST(Lint, RandomIsAllowedInLinalgRandom) {
+  EXPECT_FALSE(fires_on("nondeterminism_random.cpp", "src/linalg/random.cpp",
+                        "nondeterminism-random"));
+}
+
+TEST(Lint, NondeterminismClockFires) {
+  EXPECT_TRUE(fires_on("nondeterminism_clock.cpp", "src/core/bad.cpp",
+                       "nondeterminism-clock"));
+}
+
+TEST(Lint, ClockIsAllowedInSimulator) {
+  EXPECT_FALSE(fires_on("nondeterminism_clock.cpp", "src/wsn/simulator.cpp",
+                        "nondeterminism-clock"));
+}
+
+TEST(Lint, FloatInNumericFires) {
+  EXPECT_TRUE(fires_on("float_in_numeric.cpp", "src/linalg/bad.cpp",
+                       "float-in-numeric"));
+  EXPECT_TRUE(fires_on("float_in_numeric.cpp", "src/nmf/bad.cpp",
+                       "float-in-numeric"));
+}
+
+TEST(Lint, FloatIsAllowedOutsideNumericKernels) {
+  EXPECT_FALSE(fires_on("float_in_numeric.cpp", "src/wsn/radio.cpp",
+                        "float-in-numeric"));
+}
+
+TEST(Lint, IoInLibraryFires) {
+  EXPECT_TRUE(
+      fires_on("io_in_library.cpp", "src/core/bad.cpp", "io-in-library"));
+}
+
+TEST(Lint, IoIsAllowedInToolsAndTraceLayer) {
+  EXPECT_FALSE(
+      fires_on("io_in_library.cpp", "tools/some_cli.cpp", "io-in-library"));
+  EXPECT_FALSE(
+      fires_on("io_in_library.cpp", "src/trace/dump.cpp", "io-in-library"));
+}
+
+TEST(Lint, UsingNamespaceHeaderFires) {
+  EXPECT_TRUE(fires_on("using_namespace_header.hpp", "src/core/bad.hpp",
+                       "using-namespace-header"));
+}
+
+TEST(Lint, UsingNamespaceIsAllowedInSourceFiles) {
+  EXPECT_FALSE(fires_on("using_namespace_header.hpp", "src/core/bad.cpp",
+                        "using-namespace-header"));
+}
+
+TEST(Lint, NakedNewFires) {
+  const auto findings =
+      lint_content("src/core/bad.cpp", fixture("naked_new.cpp"));
+  std::size_t naked = 0;
+  for (const Finding& f : findings)
+    if (f.rule == "naked-new") ++naked;
+  // new int(7), delete p, new int[4] — but NOT the two `= delete` lines.
+  EXPECT_EQ(naked, 3u);
+}
+
+TEST(Lint, IncludeGuardFires) {
+  EXPECT_TRUE(
+      fires_on("missing_guard.hpp", "src/core/bad.hpp", "include-guard"));
+}
+
+TEST(Lint, PragmaOnceSatisfiesGuardRule) {
+  EXPECT_FALSE(fires_on("using_namespace_header.hpp", "src/core/bad.hpp",
+                        "include-guard"));
+}
+
+TEST(Lint, ParallelCaptureFires) {
+  const auto findings =
+      lint_content("src/core/bad.cpp", fixture("parallel_capture.cpp"));
+  std::vector<Finding> capture_findings;
+  for (const Finding& f : findings)
+    if (f.rule == "parallel-capture") capture_findings.push_back(f);
+  // Exactly the write to `total`; the index-owned out[i] write is fine.
+  ASSERT_EQ(capture_findings.size(), 1u);
+  EXPECT_NE(capture_findings[0].message.find("'total'"), std::string::npos);
+}
+
+TEST(Lint, SuppressionCommentsSilenceFindings) {
+  const auto findings =
+      lint_content("src/core/bad.cpp", fixture("suppressed.cpp"));
+  EXPECT_TRUE(findings.empty())
+      << findings.front().rule << " at line " << findings.front().line;
+}
+
+TEST(Lint, SuppressionIsRuleSpecific) {
+  // An allow() for a different rule must not silence the finding.
+  const std::string content =
+      "int f() {\n"
+      "  return rand();  // vn2-lint: allow(io-in-library)\n"
+      "}\n";
+  const auto findings = lint_content("src/core/bad.cpp", content);
+  EXPECT_TRUE(rules_fired(findings).count("nondeterminism-random"));
+}
+
+TEST(Lint, NearMissesStayClean) {
+  const auto findings = lint_content("src/core/ok.cpp", fixture("clean.cpp"));
+  EXPECT_TRUE(findings.empty())
+      << findings.front().rule << " at line " << findings.front().line;
+}
+
+TEST(Lint, CommentsAndStringsAreNotCode) {
+  const std::string content =
+      "// rand() std::cout time(nullptr)\n"
+      "/* std::random_device */\n"
+      "const char* s = \"new int; delete p; std::cerr\";\n";
+  EXPECT_TRUE(lint_content("src/core/ok.cpp", content).empty());
+}
+
+TEST(Lint, FindingsAreLineAnchoredAndSorted) {
+  const std::string content =
+      "int a() { return rand(); }\n"
+      "int b() { return rand(); }\n";
+  const auto findings = lint_content("src/core/bad.cpp", content);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[1].line, 2u);
+}
+
+TEST(Lint, RuleCatalogueIsStable) {
+  const auto ids = rule_ids();
+  const std::set<std::string> expected = {
+      "nondeterminism-random", "nondeterminism-clock", "float-in-numeric",
+      "io-in-library",         "using-namespace-header", "naked-new",
+      "include-guard",         "parallel-capture"};
+  EXPECT_EQ(std::set<std::string>(ids.begin(), ids.end()), expected);
+}
+
+TEST(Lint, RepoTreeIsClean) {
+  // The gate CI enforces: the real tree lints clean. VN2_LINT_REPO_ROOT is
+  // the source dir at configure time.
+  const auto findings =
+      lint_tree(std::filesystem::path(VN2_LINT_REPO_ROOT));
+  for (const Finding& f : findings)
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+}
+
+}  // namespace
+}  // namespace vn2::lint

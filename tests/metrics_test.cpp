@@ -43,7 +43,7 @@ TEST(Schema, NamesAreUnique) {
 TEST(Schema, IndexRoundTrip) {
   for (std::size_t i = 0; i < kMetricCount; ++i)
     EXPECT_EQ(index_of(metric_at(i)), i);
-  EXPECT_THROW(metric_at(kMetricCount), std::out_of_range);
+  EXPECT_THROW((void)metric_at(kMetricCount), std::out_of_range);
 }
 
 TEST(Schema, NeighborSlotHelpers) {
@@ -58,10 +58,12 @@ TEST(Schema, NeighborSlotHelpers) {
 TEST(Schema, CountersAreC3OrGaugeConsistent) {
   // Every counter lives in the C3 block; C1/C2 carry gauges only.
   for (MetricId id : all_metrics()) {
-    if (kind(id) == MetricKind::kCounter)
+    if (kind(id) == MetricKind::kCounter) {
       EXPECT_EQ(packet_type(id), PacketType::kC3) << name(id);
-    if (packet_type(id) != PacketType::kC3)
+    }
+    if (packet_type(id) != PacketType::kC3) {
       EXPECT_EQ(kind(id), MetricKind::kGauge) << name(id);
+    }
   }
 }
 
@@ -135,8 +137,9 @@ TEST(Hazards, TableIEntriesPresent) {
         HazardEvent::kKeyNodeLargeSubtree, HazardEvent::kRisingNoise,
         HazardEvent::kQueueOverflow, HazardEvent::kLinkDegradation,
         HazardEvent::kFrequentParentChange, HazardEvent::kRoutingLoop,
-        HazardEvent::kPersistentDrop, HazardEvent::kDuplicateStorm})
-    EXPECT_NO_THROW(hazard_info(event));
+        HazardEvent::kPersistentDrop, HazardEvent::kDuplicateStorm}) {
+    EXPECT_NO_THROW((void)hazard_info(event));
+  }
 }
 
 }  // namespace

@@ -66,8 +66,9 @@ void expect_kkt(const Matrix& a, const Vector& b, const NnlsResult& r,
   Vector grad = matvec(at, residual);
   for (std::size_t i = 0; i < grad.size(); ++i) {
     EXPECT_GE(grad[i], -tol) << "dual feasibility violated at " << i;
-    if (r.x[i] > 1e-8)
+    if (r.x[i] > 1e-8) {
       EXPECT_NEAR(grad[i], 0.0, tol) << "complementarity violated at " << i;
+    }
   }
 }
 

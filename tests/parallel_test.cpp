@@ -85,8 +85,9 @@ TEST_F(ParallelTest, NestedParallelForRunsInlineInTheOuterTask) {
       // No nested fan-out: the inner loop must stay on the outer task's
       // thread (workers inline, and the caller-thread path has the whole
       // pool busy only with outer chunks).
-      if (ThreadPool::inside_worker())
+      if (ThreadPool::inside_worker()) {
         EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+      }
       counts[outer * 32 + inner].fetch_add(1);
     });
   });

@@ -1,0 +1,613 @@
+// vn2-lint implementation. See vn2_lint.hpp for the contract and DESIGN.md
+// for the rule catalogue. Everything here is deliberately std-only so the
+// checker builds in seconds on any toolchain and can gate CI without
+// pulling in a compiler frontend: the rules are textual (comment- and
+// string-aware), which is exactly the right power-to-weight for a ~5k LoC
+// tree with a consistent house style.
+#include "vn2_lint.hpp"
+
+// GCC attributes -Wmaybe-uninitialized false positives to <functional>
+// internals when std::regex is instantiated under -fsanitize=undefined
+// (GCC PR105562), so silence that one diagnostic for this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace vn2::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: strip comments and literal contents (preserving
+// line structure) and collect per-line suppression sets.
+
+struct Preprocessed {
+  std::vector<std::string> lines;  ///< Code with comments/literals blanked.
+  /// line (1-based) -> rules allowed on that line.
+  std::map<std::size_t, std::set<std::string>> allowed;
+};
+
+// Records `// vn2-lint: allow(a, b)` for `line`; a suppression comment on
+// an otherwise-empty line applies to the next line instead, so violations
+// can be annotated above as well as beside.
+void record_suppressions(const std::string& comment, bool own_code_on_line,
+                         std::size_t line, Preprocessed& out) {
+  static const std::regex kAllow(R"(vn2-lint:\s*allow\(([^)]*)\))");
+  std::smatch match;
+  if (!std::regex_search(comment, match, kAllow)) return;
+  std::stringstream list(match[1].str());
+  std::string rule;
+  const std::size_t target = own_code_on_line ? line : line + 1;
+  while (std::getline(list, rule, ',')) {
+    const auto begin = rule.find_first_not_of(" \t");
+    const auto end = rule.find_last_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    out.allowed[target].insert(rule.substr(begin, end - begin + 1));
+  }
+}
+
+/// Blanks comments, string literals, and char literals so rules only ever
+/// match real code. Raw strings (R"delim(...)delim") are handled; line
+/// structure is preserved so findings stay anchored.
+Preprocessed preprocess(const std::string& content) {
+  Preprocessed out;
+  std::string line;
+  std::string comment;       // comment text accumulated for this line
+  bool in_block_comment = false;
+  bool code_seen_on_line = false;
+
+  std::size_t i = 0;
+  std::size_t line_no = 1;
+  const std::size_t n = content.size();
+
+  auto flush_line = [&]() {
+    record_suppressions(comment, code_seen_on_line, line_no, out);
+    out.lines.push_back(line);
+    line.clear();
+    comment.clear();
+    code_seen_on_line = false;
+    ++line_no;
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      flush_line();
+      ++i;
+      continue;
+    }
+    if (in_block_comment) {
+      comment += c;
+      if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+        in_block_comment = false;
+        comment += '/';
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      // Line comment: consume to end of line (newline handled above).
+      while (i < n && content[i] != '\n') comment += content[i++];
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      in_block_comment = true;
+      comment += "/*";
+      i += 2;
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      // Raw string literal: R"delim( ... )delim".
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && content[p] != '(') delim += content[p++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t close = content.find(closer, p);
+      if (close == std::string::npos) close = n;
+      // Keep line structure: newlines inside the literal still break lines.
+      line += "\"\"";
+      code_seen_on_line = true;
+      for (std::size_t q = i; q < std::min(close + closer.size(), n); ++q)
+        if (content[q] == '\n') flush_line();
+      i = std::min(close + closer.size(), n);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      line += quote;
+      code_seen_on_line = true;
+      ++i;
+      while (i < n && content[i] != quote && content[i] != '\n') {
+        if (content[i] == '\\' && i + 1 < n) ++i;  // skip escape
+        ++i;
+      }
+      if (i < n && content[i] == quote) {
+        line += quote;
+        ++i;
+      }
+      continue;
+    }
+    line += c;
+    if (!std::isspace(static_cast<unsigned char>(c))) code_seen_on_line = true;
+    ++i;
+  }
+  if (!line.empty() || !comment.empty()) flush_line();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping helpers. Paths are repo-relative with forward slashes.
+
+bool starts_with(const std::string& path, const std::string& prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+bool is_header(const std::string& path) {
+  return path.ends_with(".hpp") || path.ends_with(".h");
+}
+
+bool in_numeric_kernels(const std::string& path) {
+  return starts_with(path, "src/linalg/") || starts_with(path, "src/nmf/");
+}
+
+bool is_library_code(const std::string& path) {
+  return starts_with(path, "src/");
+}
+
+// The two sanctioned exception files: seeded RNG lives in linalg/random,
+// and the simulator owns the (virtual) clock.
+bool is_random_home(const std::string& path) {
+  return starts_with(path, "src/linalg/random.");
+}
+
+bool is_simulator_clock(const std::string& path) {
+  return starts_with(path, "src/wsn/simulator.");
+}
+
+// ---------------------------------------------------------------------------
+// Simple regex-per-line rules.
+
+struct PatternRule {
+  const char* id;
+  const char* message;
+  std::regex pattern;
+  bool (*applies)(const std::string& path);
+};
+
+const std::vector<PatternRule>& pattern_rules() {
+  static const std::vector<PatternRule> rules = [] {
+    std::vector<PatternRule> r;
+    r.push_back({"nondeterminism-random",
+                 "nondeterministic RNG in analysis code; use the seeded "
+                 "generators in linalg/random",
+                 std::regex(R"((\brand\s*\()|(\bsrand\s*\()|(std::random_device))"),
+                 [](const std::string& p) { return !is_random_home(p); }});
+    r.push_back({"nondeterminism-clock",
+                 "wall-clock time in analysis code; results must not depend "
+                 "on when they run (simulator time is the only clock)",
+                 std::regex(R"((std::chrono::\w*_clock::now)|(\btime\s*\()|(\bclock\s*\()|(\bgettimeofday\s*\())"),
+                 [](const std::string& p) { return !is_simulator_clock(p); }});
+    r.push_back({"float-in-numeric",
+                 "float in a numeric kernel; linalg/nmf compute in double "
+                 "only (bit-identical parallel results depend on it)",
+                 std::regex(R"(\bfloat\b)"),
+                 [](const std::string& p) { return in_numeric_kernels(p); }});
+    r.push_back({"io-in-library",
+                 "direct stdout/stderr IO in library code; route output "
+                 "through the trace layer or return it to the caller",
+                 std::regex(R"((std::cout)|(std::cerr)|(\bprintf\s*\()|(\bfprintf\s*\()|(\bputs\s*\())"),
+                 [](const std::string& p) { return is_library_code(p) &&
+                                                   !starts_with(p, "src/trace/"); }});
+    r.push_back({"using-namespace-header",
+                 "using namespace in a header leaks into every includer",
+                 std::regex(R"(\busing\s+namespace\b)"),
+                 [](const std::string& p) { return is_header(p); }});
+    // naked-new needs a lookbehind (`= delete` is fine) that std::regex
+    // lacks, so lint_content dispatches it to naked_new_matches instead of
+    // this placeholder pattern.
+    r.push_back({"naked-new",
+                 "naked new/delete; use containers or smart pointers so "
+                 "ownership is explicit and exception-safe",
+                 std::regex(R"(\b(new|delete)\b)"),
+                 [](const std::string&) { return true; }});
+    return r;
+  }();
+  return rules;
+}
+
+// std::regex has no lookbehind; handle the `= delete` / `delete;` special
+// cases by hand instead of in the pattern above.
+bool naked_new_matches(const std::string& code, std::size_t& pos) {
+  static const std::regex kNewDelete(R"(\b(new|delete)\b)");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kNewDelete);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::smatch& m = *it;
+    const std::string word = m[1].str();
+    const std::size_t at = static_cast<std::size_t>(m.position(1));
+    if (word == "delete") {
+      // `= delete` (deleted special member) is fine; so is `= delete;`.
+      std::size_t q = at;
+      while (q > 0 && std::isspace(static_cast<unsigned char>(code[q - 1])))
+        --q;
+      if (q > 0 && code[q - 1] == '=') continue;
+    }
+    pos = at;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Header hygiene: every header needs `#pragma once` (house style) or a
+// classic include guard.
+
+void check_include_guard(const std::string& path, const Preprocessed& src,
+                         std::vector<Finding>& findings) {
+  if (!is_header(path)) return;
+  bool guarded = false;
+  for (std::size_t i = 0; i < src.lines.size() && !guarded; ++i) {
+    const std::string& l = src.lines[i];
+    if (l.find("#pragma once") != std::string::npos) guarded = true;
+    if (l.find("#ifndef") != std::string::npos &&
+        i + 1 < src.lines.size() &&
+        src.lines[i + 1].find("#define") != std::string::npos)
+      guarded = true;
+  }
+  if (!guarded)
+    findings.push_back({path, 1, "include-guard",
+                        "header lacks #pragma once or an include guard"});
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for capture hygiene.
+//
+// The determinism promise of the parallel layer is "write only to
+// index-owned slots". A write to a bare `&`-captured local from inside a
+// parallel_for body is almost always a data race, so we flag it. The
+// heuristic is textual: inside each inline lambda passed to parallel_for,
+// flag `x = ...`, `x op= ...`, `++x` / `x++` where `x` is a plain
+// identifier (no subscript/member/call syntax, which index-owned writes
+// use) that is neither declared inside the body nor the loop parameter.
+
+const std::set<std::string>& cpp_keywords() {
+  static const std::set<std::string> kw = {
+      "if", "else", "for", "while", "do", "switch", "case", "return",
+      "break", "continue", "auto", "const", "constexpr", "static", "double",
+      "float", "int", "bool", "char", "long", "unsigned", "signed", "void",
+      "sizeof", "true", "false", "new", "delete", "this", "using", "typedef"};
+  return kw;
+}
+
+/// Finds the matching close brace/paren/bracket for the opener at `open`.
+std::size_t find_balanced(const std::string& text, std::size_t open,
+                          char open_ch, char close_ch) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == open_ch) ++depth;
+    if (text[i] == close_ch && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+struct LambdaInfo {
+  std::string captures;        ///< text inside [ ]
+  std::string params;          ///< text inside ( )
+  std::string body;            ///< text inside { }
+  std::size_t body_start_line; ///< 1-based line of the opening brace
+};
+
+/// Identifiers declared anywhere in the body (type-name preceded writes,
+/// loop variables, reference bindings). Over-collecting is safe — it only
+/// makes the rule quieter.
+std::set<std::string> declared_names(const std::string& body) {
+  std::set<std::string> names;
+  static const std::regex kDecl(
+      R"(([A-Za-z_][\w:<>]*[\s&*]+|auto[\s&*]+)([A-Za-z_]\w*)\s*(=|;|\{|:))");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kDecl);
+       it != std::sregex_iterator(); ++it)
+    names.insert((*it)[2].str());
+  return names;
+}
+
+std::set<std::string> param_names(const std::string& params) {
+  std::set<std::string> names;
+  static const std::regex kParam(R"(([A-Za-z_]\w*)\s*(,|$))");
+  for (auto it = std::sregex_iterator(params.begin(), params.end(), kParam);
+       it != std::sregex_iterator(); ++it)
+    names.insert((*it)[1].str());
+  return names;
+}
+
+void check_lambda_writes(const std::string& path, const LambdaInfo& lambda,
+                         std::vector<Finding>& findings) {
+  if (lambda.captures.find('&') == std::string::npos) return;
+
+  // Explicit by-reference capture names ([&x, y] style); empty for [&].
+  std::set<std::string> by_ref;
+  bool blanket = false;
+  {
+    static const std::regex kCap(R"(&\s*([A-Za-z_]\w*)?)");
+    for (auto it = std::sregex_iterator(lambda.captures.begin(),
+                                        lambda.captures.end(), kCap);
+         it != std::sregex_iterator(); ++it) {
+      if ((*it)[1].matched)
+        by_ref.insert((*it)[1].str());
+      else
+        blanket = true;
+    }
+  }
+
+  const std::set<std::string> declared = declared_names(lambda.body);
+  const std::set<std::string> params = param_names(lambda.params);
+
+  // `x =` (not ==/<=/...), `x op=`, `++x`, `x++` on a bare identifier.
+  static const std::regex kWrite(
+      R"((\+\+|--)\s*([A-Za-z_]\w*)|([A-Za-z_]\w*)\s*(\+\+|--|(?:[+\-*/%|&^]|<<|>>)?=(?![=])))");
+  std::size_t line = lambda.body_start_line;
+  std::istringstream stream(lambda.body);
+  std::string body_line;
+  while (std::getline(stream, body_line)) {
+    for (auto it = std::sregex_iterator(body_line.begin(), body_line.end(),
+                                        kWrite);
+         it != std::sregex_iterator(); ++it) {
+      const std::smatch& m = *it;
+      const bool prefix = m[2].matched;
+      const std::string name = prefix ? m[2].str() : m[3].str();
+      if (!prefix) {
+        // Reject comparisons (== already excluded) and `<= >=` matches of
+        // the form `x <... =`: the op group guarantees an assignment or
+        // increment, but `x ==` slips through as `x =` when the regex
+        // starts mid-token; guard on the char after the match.
+        const std::size_t after =
+            static_cast<std::size_t>(m.position(0) + m.length(0));
+        if (after < body_line.size() && body_line[after] == '=') continue;
+        // Bare-identifier writes only: subscripts / members / calls write
+        // through an index-owned slot or an object, which is the sanctioned
+        // pattern (out[i] = ..., point.rank = ..., w(i, r) = ...).
+        const std::size_t name_end =
+            static_cast<std::size_t>(m.position(3) + m.length(3));
+        std::size_t q = name_end;
+        while (q < body_line.size() &&
+               std::isspace(static_cast<unsigned char>(body_line[q])))
+          ++q;
+        if (q < body_line.size() && (body_line[q] == '[' ||
+                                     body_line[q] == '(' ||
+                                     body_line[q] == '.' ||
+                                     (body_line[q] == '-' &&
+                                      q + 1 < body_line.size() &&
+                                      body_line[q + 1] == '>')))
+          continue;
+        // Declarations (`Type name = ...`): preceding token is part of a
+        // type name.
+        std::size_t p = static_cast<std::size_t>(m.position(3));
+        while (p > 0 &&
+               std::isspace(static_cast<unsigned char>(body_line[p - 1])))
+          --p;
+        if (p > 0) {
+          const char before = body_line[p - 1];
+          // Preceding type token => declaration; preceding '.'/'->' =>
+          // member write through an object, which is the object's business.
+          if (std::isalnum(static_cast<unsigned char>(before)) ||
+              before == '_' || before == '>' || before == '*' ||
+              before == '&' || before == ':' || before == '.')
+            continue;
+        }
+      }
+      if (cpp_keywords().count(name)) continue;
+      if (declared.count(name) || params.count(name)) continue;
+      if (!blanket && !by_ref.count(name)) continue;
+      findings.push_back(
+          {path, line, "parallel-capture",
+           "write to '&'-captured local '" + name +
+               "' inside a parallel_for body; writes must go to "
+               "index-owned slots (or use a per-task local + reduction)"});
+    }
+    ++line;
+  }
+}
+
+void check_parallel_captures(const std::string& path, const Preprocessed& src,
+                             std::vector<Finding>& findings) {
+  // Work on the joined stripped text so lambdas spanning lines are seen.
+  std::string joined;
+  std::vector<std::size_t> line_of_offset;
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    for (std::size_t j = 0; j <= src.lines[i].size(); ++j)
+      line_of_offset.push_back(i + 1);
+    joined += src.lines[i];
+    joined += '\n';
+  }
+
+  std::size_t search = 0;
+  while ((search = joined.find("parallel_for", search)) != std::string::npos) {
+    const std::size_t call_open = joined.find('(', search);
+    search += 12;  // length of "parallel_for"
+    if (call_open == std::string::npos) continue;
+    const std::size_t call_close =
+        find_balanced(joined, call_open, '(', ')');
+    if (call_close == std::string::npos) continue;
+
+    // Inline lambda argument, if any.
+    const std::size_t cap_open = joined.find('[', call_open);
+    if (cap_open == std::string::npos || cap_open > call_close) continue;
+    const std::size_t cap_close = find_balanced(joined, cap_open, '[', ']');
+    if (cap_close == std::string::npos) continue;
+    LambdaInfo lambda;
+    lambda.captures =
+        joined.substr(cap_open + 1, cap_close - cap_open - 1);
+    const std::size_t par_open = joined.find('(', cap_close);
+    if (par_open != std::string::npos && par_open < call_close) {
+      const std::size_t par_close =
+          find_balanced(joined, par_open, '(', ')');
+      if (par_close != std::string::npos)
+        lambda.params = joined.substr(par_open + 1, par_close - par_open - 1);
+    }
+    const std::size_t body_open = joined.find('{', cap_close);
+    if (body_open == std::string::npos) continue;
+    const std::size_t body_close =
+        find_balanced(joined, body_open, '{', '}');
+    if (body_close == std::string::npos) continue;
+    lambda.body = joined.substr(body_open + 1, body_close - body_open - 1);
+    lambda.body_start_line = line_of_offset[std::min(
+        body_open, line_of_offset.size() - 1)];
+    check_lambda_writes(path, lambda, findings);
+  }
+}
+
+void apply_suppressions(const Preprocessed& src,
+                        std::vector<Finding>& findings) {
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       auto it = src.allowed.find(f.line);
+                       return it != src.allowed.end() &&
+                              it->second.count(f.rule) > 0;
+                     }),
+      findings.end());
+}
+
+}  // namespace
+
+std::vector<std::string> rule_ids() {
+  std::vector<std::string> ids;
+  for (const PatternRule& rule : pattern_rules()) ids.push_back(rule.id);
+  ids.push_back("include-guard");
+  ids.push_back("parallel-capture");
+  return ids;
+}
+
+std::vector<Finding> lint_content(const std::string& path,
+                                  const std::string& content) {
+  const Preprocessed src = preprocess(content);
+  std::vector<Finding> findings;
+
+  for (const PatternRule& rule : pattern_rules()) {
+    if (!rule.applies(path)) continue;
+    const bool is_naked_new = std::string(rule.id) == "naked-new";
+    for (std::size_t i = 0; i < src.lines.size(); ++i) {
+      bool hit = false;
+      if (is_naked_new) {
+        std::size_t pos = 0;
+        hit = naked_new_matches(src.lines[i], pos);
+      } else {
+        hit = std::regex_search(src.lines[i], rule.pattern);
+      }
+      if (hit) findings.push_back({path, i + 1, rule.id, rule.message});
+    }
+  }
+
+  check_include_guard(path, src, findings);
+  check_parallel_captures(path, src, findings);
+  apply_suppressions(src, findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::filesystem::path& file,
+                               const std::string& relative) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in)
+    return {{relative, 0, "io-error", "cannot read file"}};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_content(relative, buffer.str());
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               const std::vector<std::string>& dirs) {
+  static const std::vector<std::string> kDefaultDirs = {"src", "tools",
+                                                        "bench", "examples"};
+  const std::vector<std::string>& walk = dirs.empty() ? kDefaultDirs : dirs;
+
+  std::vector<Finding> findings;
+  for (const std::string& dir : walk) {
+    const std::filesystem::path base = root / dir;
+    if (!std::filesystem::exists(base)) continue;
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+          ext == ".h")
+        files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      std::string relative =
+          std::filesystem::relative(file, root).generic_string();
+      auto file_findings = lint_file(file, relative);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+  return findings;
+}
+
+}  // namespace vn2::lint
+
+#ifndef VN2_LINT_NO_MAIN
+
+namespace {
+
+int usage() {
+  std::cout << "usage: vn2_lint [--root DIR] [--list-rules] [DIR...]\n"
+               "Lints src/, tools/, bench/, examples/ under --root\n"
+               "(default: current directory) or the listed DIRs.\n"
+               "Exits 1 when any unsuppressed finding remains.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = std::filesystem::current_path();
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& id : vn2::lint::rule_ids())
+        std::cout << id << '\n';
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "vn2_lint: unknown option " << arg << '\n';
+      return usage();
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+
+  const auto findings = vn2::lint::lint_tree(root, dirs);
+  for (const auto& f : findings)
+    std::cout << f.file << ':' << f.line << ": [" << f.rule << "] "
+              << f.message << '\n';
+  if (findings.empty()) {
+    std::cout << "vn2-lint: clean\n";
+    return 0;
+  }
+  std::cout << "vn2-lint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << '\n';
+  return 1;
+}
+
+#endif  // VN2_LINT_NO_MAIN

@@ -1,0 +1,51 @@
+// vn2-lint — VN2's project-specific static checker.
+//
+// A dependency-free (std-only) line-level linter that enforces the
+// invariants the compiler cannot: determinism of the analysis pipeline,
+// double-only numeric kernels, IO discipline, parallel_for capture
+// hygiene, and header hygiene. See DESIGN.md "Correctness & static
+// analysis" for the rule catalogue and rationale.
+//
+// Findings are suppressible per line with
+//
+//   some_call();  // vn2-lint: allow(<rule>[, <rule>...])
+//
+// or with the same comment alone on the line above. The binary exits
+// non-zero when any unsuppressed finding remains, so both ctest and CI
+// gate on it.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace vn2::lint {
+
+/// One rule violation, anchored to a file and 1-based line.
+struct Finding {
+  std::string file;     ///< Path as reported (repo-relative when walking).
+  std::size_t line = 0; ///< 1-based line number.
+  std::string rule;     ///< Rule identifier, e.g. "nondeterminism-random".
+  std::string message;  ///< Human-readable explanation.
+};
+
+/// Identifiers of every rule, in reporting order.
+[[nodiscard]] std::vector<std::string> rule_ids();
+
+/// Lints one file's contents. `path` (repo-relative, forward slashes) is
+/// used both for reporting and for rule scoping — e.g. the float ban only
+/// applies under src/linalg and src/nmf.
+[[nodiscard]] std::vector<Finding> lint_content(const std::string& path,
+                                                const std::string& content);
+
+/// Reads and lints one file on disk, reporting it as `relative`.
+[[nodiscard]] std::vector<Finding> lint_file(const std::filesystem::path& file,
+                                             const std::string& relative);
+
+/// Walks `dirs` (default: src, tools, bench, examples) under `root` and
+/// lints every C++ source/header found.
+[[nodiscard]] std::vector<Finding> lint_tree(
+    const std::filesystem::path& root,
+    const std::vector<std::string>& dirs = {});
+
+}  // namespace vn2::lint
