@@ -18,7 +18,8 @@
 #include "core/parallel.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/random.hpp"
-#include "test_support_synthetic.hpp"
+#include "support/synthetic.hpp"
+#include "telemetry_support.hpp"
 
 namespace {
 
@@ -28,7 +29,7 @@ using vn2::linalg::Matrix;
 using vn2::linalg::Vector;
 
 TrainingReport trained_model(std::size_t rank) {
-  auto synthetic = vn2::bench_support::synthetic_states(2000, 77);
+  auto synthetic = vn2::testing::synthetic_states(2000, 77);
   TrainingOptions options;
   options.rank = rank;
   options.nmf.max_iterations = 120;
@@ -38,7 +39,7 @@ TrainingReport trained_model(std::size_t rank) {
 void BM_DiagnoseSingleState(benchmark::State& state) {
   const auto rank = static_cast<std::size_t>(state.range(0));
   const TrainingReport report = trained_model(rank);
-  const auto probes = vn2::bench_support::synthetic_states(64, 5);
+  const auto probes = vn2::testing::synthetic_states(64, 5);
   std::size_t i = 0;
   for (auto _ : state) {
     const auto diagnosis = vn2::core::diagnose(
@@ -53,7 +54,7 @@ BENCHMARK(BM_DiagnoseSingleState)->Arg(10)->Arg(25)->Arg(40);
 void BM_BatchCorrelationStrengths(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   const TrainingReport report = trained_model(25);
-  const Matrix probes = vn2::bench_support::synthetic_states(batch, 6);
+  const Matrix probes = vn2::testing::synthetic_states(batch, 6);
   for (auto _ : state) {
     const Matrix w = vn2::core::correlation_strengths(report.model, probes);
     benchmark::DoNotOptimize(w.data());
@@ -69,7 +70,7 @@ void BM_DiagnoseBatchThreads(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<std::size_t>(state.range(1));
   const TrainingReport report = trained_model(25);
-  const Matrix probes = vn2::bench_support::synthetic_states(batch, 6);
+  const Matrix probes = vn2::testing::synthetic_states(batch, 6);
   vn2::core::set_num_threads(threads);
   for (auto _ : state) {
     const auto diagnoses = vn2::core::diagnose_batch(report.model, probes);
@@ -97,7 +98,7 @@ BENCHMARK(BM_RawNnls)->Arg(10)->Arg(25)->Arg(40);
 
 void BM_ExceptionScore(benchmark::State& state) {
   const TrainingReport report = trained_model(25);
-  const auto probes = vn2::bench_support::synthetic_states(64, 9);
+  const auto probes = vn2::testing::synthetic_states(64, 9);
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -120,7 +121,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 void run_parallel_report(const char* json_path) {
   const std::size_t batch = 2000;
   const TrainingReport report = trained_model(25);
-  const Matrix probes = vn2::bench_support::synthetic_states(batch, 6);
+  const Matrix probes = vn2::testing::synthetic_states(batch, 6);
 
   const std::size_t hardware = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
@@ -168,10 +169,12 @@ void run_parallel_report(const char* json_path) {
                "  \"serial\": {\"threads\": 1, \"seconds\": %.6f},\n"
                "  \"parallel\": {\"threads\": %zu, \"seconds\": %.6f},\n"
                "  \"speedup\": %.4f,\n"
-               "  \"bit_identical\": %s\n"
+               "  \"bit_identical\": %s,\n"
+               "  \"telemetry\": %s\n"
                "}\n",
                batch, hardware, serial_seconds, parallel_threads,
-               parallel_seconds, speedup, identical ? "true" : "false");
+               parallel_seconds, speedup, identical ? "true" : "false",
+               vn2::bench_support::telemetry_snapshot_json().c_str());
   std::fclose(out);
   std::printf("parallel report -> %s\n", json_path);
 }

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "nmf/nmf.hpp"
 #include "nmf/rank_selection.hpp"
 #include "nmf/sparsify.hpp"
+#include "telemetry_support.hpp"
 
 namespace {
 
@@ -181,13 +183,79 @@ void run_parallel_report(const char* json_path) {
                "  \"parallel\": {\"threads\": %zu, \"seconds\": %.6f},\n"
                "  \"speedup\": %.4f,\n"
                "  \"chosen_rank\": %zu,\n"
-               "  \"bit_identical\": %s\n"
+               "  \"bit_identical\": %s,\n"
+               "  \"telemetry\": %s\n"
                "}\n",
                rows, cols, options.nmf.max_iterations, hardware,
                serial_seconds, parallel_threads, parallel_seconds, speedup,
-               parallel_choice.rank, identical ? "true" : "false");
+               parallel_choice.rank, identical ? "true" : "false",
+               vn2::bench_support::telemetry_snapshot_json().c_str());
   std::fclose(out);
   std::printf("parallel report -> %s\n", json_path);
+}
+
+// Telemetry overhead on a fixed factorization workload: the same run with
+// collection paused (one relaxed atomic load per macro) vs collecting.
+// The <3% budget is the acceptance bar for keeping instrumentation always
+// on; a VN2_TELEMETRY=OFF build removes even the paused-path load.
+void run_telemetry_report(const char* json_path) {
+  const Matrix e = exceptions_like(2000, 86, 7);
+  vn2::nmf::NmfOptions options;
+  options.max_iterations = 60;
+  options.relative_tolerance = 0.0;  // Fixed work for comparability.
+  options.record_objective = false;
+
+  // Serial: isolates macro cost from pool scheduling noise.
+  vn2::core::set_num_threads(1);
+  auto run_once = [&]() {
+    const std::uint64_t t0 = vn2::telemetry::monotonic_ns();
+    auto result = vn2::nmf::factorize(e, 25, options);
+    benchmark::DoNotOptimize(result.psi.data());
+    return static_cast<double>(vn2::telemetry::monotonic_ns() - t0) / 1e9;
+  };
+  run_once();  // Warm-up: page in the matrices, grow the registry.
+
+  double paused_best = std::numeric_limits<double>::infinity();
+  double collecting_best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    vn2::telemetry::set_collecting(false);
+    paused_best = std::min(paused_best, run_once());
+    vn2::telemetry::set_collecting(true);
+    collecting_best = std::min(collecting_best, run_once());
+  }
+  vn2::core::set_num_threads(0);
+
+  const double overhead_percent =
+      paused_best > 0.0
+          ? (collecting_best - paused_best) / paused_best * 100.0
+          : 0.0;
+  std::printf("telemetry overhead on factorize 2000x86 r=25 (60 iters): "
+              "paused %.3fs, collecting %.3fs, %.2f%% (budget <3%%)%s\n",
+              paused_best, collecting_best, overhead_percent,
+              vn2::telemetry::kCompiledIn ? "" : " [compiled out]");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"telemetry_overhead\",\n"
+               "  \"workload\": \"factorize 2000x86 r=25, 60 iterations\",\n"
+               "  \"telemetry_compiled\": %s,\n"
+               "  \"paused_seconds\": %.6f,\n"
+               "  \"collecting_seconds\": %.6f,\n"
+               "  \"overhead_percent\": %.4f,\n"
+               "  \"within_budget\": %s,\n"
+               "  \"telemetry\": %s\n"
+               "}\n",
+               vn2::telemetry::kCompiledIn ? "true" : "false", paused_best,
+               collecting_best, overhead_percent,
+               overhead_percent < 3.0 ? "true" : "false",
+               vn2::bench_support::telemetry_snapshot_json().c_str());
+  std::fclose(out);
+  std::printf("telemetry report -> %s\n", json_path);
 }
 
 }  // namespace
@@ -204,7 +272,10 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  if (!skip_report) run_parallel_report("BENCH_parallel.json");
+  if (!skip_report) {
+    run_parallel_report("BENCH_parallel.json");
+    run_telemetry_report("BENCH_telemetry.json");
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

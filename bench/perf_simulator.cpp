@@ -1,8 +1,13 @@
 // Micro-benchmarks: simulator throughput — wall time per simulated hour at
-// testbed and field scales, and the cost of the trace pipeline.
+// testbed and field scales, and the cost of the trace pipeline. After the
+// suites run, the aggregated telemetry snapshot (events, packets, drops
+// across every benchmarked run) lands in BENCH_simulator.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "scenario/scenario.hpp"
+#include "telemetry_support.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -47,6 +52,29 @@ void BM_TracePipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_TracePipeline)->Unit(benchmark::kMillisecond);
 
+void write_telemetry_report(const char* json_path) {
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"simulator\",\n"
+               "  \"telemetry\": %s\n"
+               "}\n",
+               vn2::bench_support::telemetry_snapshot_json().c_str());
+  std::fclose(out);
+  std::printf("telemetry report -> %s\n", json_path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_telemetry_report("BENCH_simulator.json");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Telemetry glue for the perf micro-benches: every BENCH_*.json embeds
+// the registry snapshot, so a perf trajectory carries its own counters
+// (iterations, solves, tasks) alongside the wall-clock numbers.
+#pragma once
+
+#include <string>
+
+#include "telemetry/sink.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vn2::bench_support {
+
+/// The global-registry snapshot as a JSON object with no trailing
+/// newline, ready to embed as a field value in a BENCH_*.json report.
+inline std::string telemetry_snapshot_json() {
+  telemetry::StringSink sink;
+  telemetry::write_json(sink, telemetry::Registry::global().snapshot());
+  std::string json = sink.str();
+  while (!json.empty() && (json.back() == '\n' || json.back() == ' '))
+    json.pop_back();
+  return json;
+}
+
+}  // namespace vn2::bench_support

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vn2::core {
 
@@ -21,6 +22,8 @@ ExceptionDetectionResult detect_exceptions(
     throw std::invalid_argument("detect_exceptions: empty state matrix");
   const std::size_t n = states.rows();
   const std::size_t m = states.cols();
+  VN2_SPAN("vn2.detect_exceptions");
+  VN2_COUNT_N("vn2.exceptions.scanned", n);
 
   // Column means and (population) standard deviations.
   Vector mean(m), stddev(m);
@@ -71,6 +74,7 @@ ExceptionDetectionResult detect_exceptions(
   VN2_ASSERT(result.exception_rows.empty() ||
                  result.exception_rows.back() < n,
              "detect_exceptions: exception rows must index into states");
+  VN2_COUNT_N("vn2.exceptions.flagged", result.exception_rows.size());
   return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/contracts.hpp"
 #include "core/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vn2::core {
 
@@ -76,6 +77,8 @@ std::vector<Diagnosis> diagnose_batch(const Vn2Model& model,
                                       const Matrix& raw_states,
                                       const DiagnoseOptions& options) {
   check_batch_input(model, raw_states, "diagnose_batch");
+  VN2_SPAN("vn2.diagnose_batch");
+  VN2_COUNT_N("vn2.states.diagnosed", raw_states.rows());
   const Matrix a = linalg::transpose(model.psi());
   // Each state's NNLS is independent; slot i is written only by task i, so
   // the batch matches the serial per-state loop at any thread count.
@@ -90,6 +93,7 @@ std::vector<Diagnosis> diagnose_batch(const Vn2Model& model,
 Matrix correlation_strengths(const Vn2Model& model, const Matrix& raw_states,
                              const DiagnoseOptions& options) {
   check_batch_input(model, raw_states, "correlation_strengths");
+  VN2_SPAN("vn2.correlation_strengths");
   const Matrix a = linalg::transpose(model.psi());
   Matrix w(raw_states.rows(), model.rank());
   parallel_for(0, raw_states.rows(), 8, [&](std::size_t i) {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vn2::core {
 
@@ -99,6 +100,7 @@ TrainingReport train(const Matrix& raw_states, const TrainingOptions& options) {
   if (raw_states.rows() == 0 || raw_states.cols() != metrics::kMetricCount)
     throw std::invalid_argument("train: need a non-empty n x 43 state matrix");
 
+  VN2_SPAN("vn2.train");
   TrainingReport report;
   report.training_states = raw_states.rows();
 

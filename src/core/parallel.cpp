@@ -5,6 +5,8 @@
 #include <exception>
 #include <memory>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vn2::core {
 
 namespace {
@@ -24,7 +26,19 @@ struct Batch {
   std::size_t helpers_left = 0;
   std::exception_ptr error;
 
+  // Timing wrapper: one busy-time sample per participant per region, so
+  // the spread of parallel.worker_busy_ns is the imbalance signal.
   void work() {
+    const std::uint64_t busy_start = VN2_CLOCK_NOW();
+    run_tasks();
+    if (busy_start != 0) {
+      VN2_COUNT("parallel.participants");
+      VN2_HISTOGRAM("parallel.worker_busy_ns",
+                    telemetry::monotonic_ns() - busy_start);
+    }
+  }
+
+  void run_tasks() {
     for (;;) {
       if (stop.load(std::memory_order_relaxed)) return;
       const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
@@ -150,10 +164,14 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   const std::size_t n = end - begin;
   const std::size_t chunk = std::max<std::size_t>(grain, 1);
   if (n <= chunk || num_threads() <= 1 || ThreadPool::inside_worker()) {
+    VN2_COUNT("parallel.regions_inline");
+    VN2_COUNT_N("parallel.tasks", 1);
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
   const std::size_t chunks = (n + chunk - 1) / chunk;
+  VN2_COUNT("parallel.regions");
+  VN2_COUNT_N("parallel.tasks", chunks);
   global_pool().run(chunks, [&](std::size_t c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);

@@ -8,6 +8,7 @@
 
 #include "core/contracts.hpp"
 #include "linalg/solve.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vn2::linalg {
 
@@ -74,6 +75,7 @@ NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
       options.max_iterations ? options.max_iterations : 3 * std::max<std::size_t>(n, 1);
 
   Vector x(n, 0.0);
+  VN2_COUNT("nnls.solves");
   std::vector<bool> in_passive(n, false);
   std::vector<std::size_t> passive;
 
@@ -107,6 +109,7 @@ NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
 
     in_passive[best_j] = true;
     passive.push_back(best_j);
+    VN2_COUNT("nnls.pivots");
 
     // Inner loop: solve on the passive set; walk back any negative entries.
     while (true) {

@@ -6,6 +6,7 @@
 
 #include "core/contracts.hpp"
 #include "linalg/random.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vn2::nmf {
 
@@ -79,6 +80,8 @@ NmfResult factorize(const Matrix& e, std::size_t rank,
   if (rank == 0 || rank > std::min(e.rows(), e.cols()))
     throw std::invalid_argument("nmf: rank must be in [1, min(n, m)]");
 
+  VN2_SPAN("nmf.factorize");
+  VN2_COUNT("nmf.factorizations");
   NmfResult result;
   // Initialize away from zero: a zero entry is a fixed point of the
   // multiplicative update and would freeze part of the factorization.
@@ -103,6 +106,8 @@ NmfResult factorize(const Matrix& e, std::size_t rank,
     }
     previous = current;
   }
+  VN2_COUNT_N("nmf.iterations", result.iterations);
+  VN2_GAUGE_SET("nmf.last_objective", previous);
   return result;
 }
 

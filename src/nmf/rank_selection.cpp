@@ -7,6 +7,7 @@
 
 #include "core/contracts.hpp"
 #include "core/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vn2::nmf {
 
@@ -26,6 +27,8 @@ std::vector<RankPoint> rank_sweep(const linalg::Matrix& e,
   // the sweep is embarrassingly parallel: every slot is written by exactly
   // one rank and the output order matches the serial loop.
   std::vector<RankPoint> sweep(valid.size());
+  VN2_SPAN("nmf.rank_sweep");
+  VN2_COUNT_N("nmf.rank_sweep.candidates", valid.size());
   core::parallel_for(0, valid.size(), 1, [&](std::size_t index) {
     const std::size_t r = valid[index];
     NmfOptions nmf_options = options.nmf;

@@ -1,0 +1,315 @@
+#include "telemetry/sink.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace vn2::telemetry {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON emit helpers.
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string quoted(std::string_view text) {
+  std::string out = "\"";
+  append_escaped(out, text);
+  out += '"';
+  return out;
+}
+
+std::string number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string micros(std::uint64_t ns) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// JSON read helpers — a deliberately small parser for the two formats
+// this file itself emits (strict enough for round-trip tests, not a
+// general JSON library).
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("telemetry: malformed input: " + what);
+}
+
+/// Extracts the raw text after `"key":` within `object`.
+std::string_view raw_field(std::string_view object, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = object.find(needle);
+  if (at == std::string_view::npos)
+    malformed("missing field " + std::string(key));
+  std::string_view rest = object.substr(at + needle.size());
+  std::size_t end = 0;
+  if (!rest.empty() && rest[0] == '"') {
+    end = 1;
+    while (end < rest.size() && rest[end] != '"') {
+      if (rest[end] == '\\') ++end;
+      ++end;
+    }
+    ++end;
+  } else {
+    while (end < rest.size() && rest[end] != ',' && rest[end] != '}' &&
+           rest[end] != ']')
+      ++end;
+  }
+  return rest.substr(0, end);
+}
+
+std::string string_field(std::string_view object, std::string_view key) {
+  std::string_view raw = raw_field(object, key);
+  if (raw.size() < 2 || raw.front() != '"') malformed("expected string");
+  raw = raw.substr(1, raw.size() - 2);
+  std::string out;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '\\') {
+      out += raw[i];
+      continue;
+    }
+    if (++i >= raw.size()) malformed("dangling escape");
+    switch (raw[i]) {
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        if (i + 4 >= raw.size()) malformed("short \\u escape");
+        out += static_cast<char>(
+            std::stoi(std::string(raw.substr(i + 1, 4)), nullptr, 16));
+        i += 4;
+        break;
+      }
+      default:
+        out += raw[i];
+    }
+  }
+  return out;
+}
+
+double double_field(std::string_view object, std::string_view key) {
+  return std::stod(std::string(raw_field(object, key)));
+}
+
+std::uint64_t u64_field(std::string_view object, std::string_view key) {
+  return std::stoull(std::string(raw_field(object, key)));
+}
+
+std::uint64_t micros_to_ns(double us) {
+  return static_cast<std::uint64_t>(us * 1000.0 + 0.5);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writers.
+
+void write_json(Sink& sink, const Snapshot& snapshot) {
+  std::string out = "{\n";
+  out += "  \"telemetry_compiled\": ";
+  out += snapshot.compiled_in ? "true" : "false";
+  out += ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    " + quoted(snapshot.counters[i].first) + ": " +
+           std::to_string(snapshot.counters[i].second);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    " + quoted(snapshot.gauges[i].first) + ": " +
+           number(snapshot.gauges[i].second);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, h] = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    " + quoted(name) + ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"min\": " + std::to_string(h.min) +
+           ", \"max\": " + std::to_string(h.max) +
+           ", \"mean\": " + number(h.mean()) + "}";
+  }
+  out += snapshot.histograms.empty() ? "},\n" : "\n  },\n";
+  out += "  \"spans\": {";
+  for (std::size_t i = 0; i < snapshot.span_stats.size(); ++i) {
+    const SpanStats& s = snapshot.span_stats[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    " + quoted(s.name) +
+           ": {\"count\": " + std::to_string(s.count) +
+           ", \"total_ns\": " + std::to_string(s.total_ns) +
+           ", \"min_ns\": " + std::to_string(s.min_ns) +
+           ", \"max_ns\": " + std::to_string(s.max_ns) + "}";
+  }
+  out += snapshot.span_stats.empty() ? "},\n" : "\n  },\n";
+  out += "  \"spans_dropped\": " + std::to_string(snapshot.spans_dropped) +
+         "\n}\n";
+  sink.write(out);
+}
+
+void write_json_lines(Sink& sink, const Snapshot& snapshot) {
+  std::string out;
+  out += "{\"type\":\"meta\",\"telemetry_compiled\":";
+  out += snapshot.compiled_in ? "true" : "false";
+  out += ",\"spans_dropped\":" + std::to_string(snapshot.spans_dropped) + "}\n";
+  for (const auto& [name, value] : snapshot.counters)
+    out += "{\"type\":\"counter\",\"name\":" + quoted(name) +
+           ",\"value\":" + std::to_string(value) + "}\n";
+  for (const auto& [name, value] : snapshot.gauges)
+    out += "{\"type\":\"gauge\",\"name\":" + quoted(name) +
+           ",\"value\":" + number(value) + "}\n";
+  for (const auto& [name, h] : snapshot.histograms)
+    out += "{\"type\":\"histogram\",\"name\":" + quoted(name) +
+           ",\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"min\":" + std::to_string(h.min) +
+           ",\"max\":" + std::to_string(h.max) + "}\n";
+  for (const SpanStats& s : snapshot.span_stats)
+    out += "{\"type\":\"span\",\"name\":" + quoted(s.name) +
+           ",\"count\":" + std::to_string(s.count) +
+           ",\"total_ns\":" + std::to_string(s.total_ns) +
+           ",\"min_ns\":" + std::to_string(s.min_ns) +
+           ",\"max_ns\":" + std::to_string(s.max_ns) + "}\n";
+  sink.write(out);
+}
+
+void write_trace_events(Sink& sink, const Snapshot& snapshot) {
+  // Complete events ("ph":"X") with timestamps relative to the earliest
+  // span, in microseconds as the format requires; base_ns preserves the
+  // absolute origin so read_trace_events can reconstruct start_ns.
+  std::uint64_t base = ~std::uint64_t{0};
+  for (const SpanRecord& span : snapshot.spans)
+    base = std::min(base, span.start_ns);
+  if (snapshot.spans.empty()) base = 0;
+  std::string out = "{\"base_ns\":" + std::to_string(base) +
+                    ",\"traceEvents\":[";
+  for (std::size_t i = 0; i < snapshot.spans.size(); ++i) {
+    const SpanRecord& span = snapshot.spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"name\":" + quoted(span.name) +
+           ",\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(span.thread) +
+           ",\"ts\":" + micros(span.start_ns - base) +
+           ",\"dur\":" + micros(span.duration_ns) +
+           ",\"args\":{\"depth\":" + std::to_string(span.depth) + "}}";
+  }
+  out += "\n]}\n";
+  sink.write(out);
+}
+
+// ---------------------------------------------------------------------------
+// Readers.
+
+Snapshot read_json_lines(std::string_view text) {
+  Snapshot snapshot;
+  snapshot.compiled_in = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    if (line.front() != '{' || line.back() != '}')
+      malformed("json-lines record is not an object");
+    const std::string type = string_field(line, "type");
+    if (type == "meta") {
+      snapshot.compiled_in =
+          raw_field(line, "telemetry_compiled") == std::string_view("true");
+      snapshot.spans_dropped = u64_field(line, "spans_dropped");
+    } else if (type == "counter") {
+      snapshot.counters.emplace_back(string_field(line, "name"),
+                                     u64_field(line, "value"));
+    } else if (type == "gauge") {
+      snapshot.gauges.emplace_back(string_field(line, "name"),
+                                   double_field(line, "value"));
+    } else if (type == "histogram") {
+      HistogramSnapshot h;
+      h.count = u64_field(line, "count");
+      h.sum = u64_field(line, "sum");
+      h.min = u64_field(line, "min");
+      h.max = u64_field(line, "max");
+      snapshot.histograms.emplace_back(string_field(line, "name"),
+                                       std::move(h));
+    } else if (type == "span") {
+      SpanStats s;
+      s.name = string_field(line, "name");
+      s.count = u64_field(line, "count");
+      s.total_ns = u64_field(line, "total_ns");
+      s.min_ns = u64_field(line, "min_ns");
+      s.max_ns = u64_field(line, "max_ns");
+      snapshot.span_stats.push_back(std::move(s));
+    } else {
+      malformed("unknown record type '" + type + "'");
+    }
+  }
+  return snapshot;
+}
+
+std::vector<SpanRecord> read_trace_events(std::string_view text) {
+  const std::uint64_t base = u64_field(text, "base_ns");
+  const std::size_t open = text.find("\"traceEvents\":[");
+  if (open == std::string_view::npos) malformed("missing traceEvents");
+  std::vector<SpanRecord> spans;
+  std::size_t pos = open;
+  while (true) {
+    const std::size_t begin = text.find('{', pos);
+    if (begin == std::string_view::npos) break;
+    const std::size_t end = text.find('}', begin);
+    if (end == std::string_view::npos) malformed("unterminated event");
+    // Events end with "}}": the inner args object closes first.
+    const std::size_t close = end + 1 < text.size() && text[end + 1] == '}'
+                                  ? end + 1
+                                  : end;
+    const std::string_view object = text.substr(begin, close - begin + 1);
+    SpanRecord span;
+    span.name = string_field(object, "name");
+    span.start_ns = base + micros_to_ns(double_field(object, "ts"));
+    span.duration_ns = micros_to_ns(double_field(object, "dur"));
+    span.thread = static_cast<std::uint32_t>(u64_field(object, "tid"));
+    span.depth = static_cast<std::uint32_t>(u64_field(object, "depth"));
+    spans.push_back(std::move(span));
+    pos = close + 1;
+  }
+  return spans;
+}
+
+}  // namespace vn2::telemetry

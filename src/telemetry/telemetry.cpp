@@ -1,0 +1,217 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace vn2::telemetry {
+
+namespace {
+
+std::atomic<bool> g_collecting{true};
+std::atomic<std::uint32_t> g_next_thread_index{0};
+
+}  // namespace
+
+std::uint64_t monotonic_ns() noexcept {
+  // The sanctioned clock site: vn2-lint exempts src/telemetry/ from the
+  // nondeterminism-clock rule so instrumented libraries never read
+  // clocks themselves.
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+void set_collecting(bool on) noexcept {
+  g_collecting.store(on, std::memory_order_relaxed);
+}
+
+bool collecting() noexcept {
+  return g_collecting.load(std::memory_order_relaxed);
+}
+
+std::uint32_t thread_index() noexcept {
+  thread_local const std::uint32_t index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Gauge / Histogram
+
+void Gauge::add(double delta) noexcept {
+  // CAS loop: std::atomic<double>::fetch_add is C++20 but not universally
+  // lock-free-optimized; the loop is portable and contention here is rare.
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::record(std::uint64_t sample) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  std::uint64_t seen_min = min_.load(std::memory_order_relaxed);
+  while (sample < seen_min &&
+         !min_.compare_exchange_weak(seen_min, sample,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+  std::uint64_t seen_max = max_.load(std::memory_order_relaxed);
+  while (sample > seen_max &&
+         !max_.compare_exchange_weak(seen_max, sample,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+  // Bucket index = bit width of the sample: 0 -> 0, 1 -> 1, 2..3 -> 2, ...
+  std::size_t bucket = 0;
+  for (std::uint64_t v = sample; v != 0; v >>= 1) ++bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t raw = min_.load(std::memory_order_relaxed);
+  return raw == ~std::uint64_t{0} ? 0 : raw;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  for (const auto& [key, value] : counters)
+    if (key == name) return value;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // vn2-lint: allow(naked-new)
+  return *instance;  // Leaked intentionally: usable during static teardown.
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+void Registry::record_span(SpanRecord span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = span_stats_.find(span.name);
+  if (it == span_stats_.end()) {
+    SpanStats stats;
+    stats.name = span.name;
+    stats.count = 1;
+    stats.total_ns = stats.min_ns = stats.max_ns = span.duration_ns;
+    span_stats_.emplace(span.name, std::move(stats));
+  } else {
+    SpanStats& stats = it->second;
+    ++stats.count;
+    stats.total_ns += span.duration_ns;
+    stats.min_ns = std::min(stats.min_ns, span.duration_ns);
+    stats.max_ns = std::max(stats.max_ns, span.duration_ns);
+  }
+  if (spans_.size() < span_capacity_)
+    spans_.push_back(std::move(span));
+  else
+    ++spans_dropped_;
+}
+
+void Registry::set_span_capacity(std::size_t cap) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  span_capacity_ = cap;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, metric] : counters_)
+    snap.counters.emplace_back(name, metric->value());
+  for (const auto& [name, metric] : gauges_)
+    snap.gauges.emplace_back(name, metric->value());
+  for (const auto& [name, metric] : histograms_) {
+    HistogramSnapshot h;
+    h.count = metric->count();
+    h.sum = metric->sum();
+    h.min = metric->min();
+    h.max = metric->max();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+      if (metric->bucket(b) != 0) h.buckets.emplace_back(b, metric->bucket(b));
+    snap.histograms.emplace_back(name, std::move(h));
+  }
+  for (const auto& [name, stats] : span_stats_)
+    snap.span_stats.push_back(stats);
+  snap.spans = spans_;
+  snap.spans_dropped = spans_dropped_;
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, metric] : counters_) metric->reset();
+  for (auto& [name, metric] : gauges_) metric->reset();
+  for (auto& [name, metric] : histograms_) metric->reset();
+  span_stats_.clear();
+  spans_.clear();
+  spans_dropped_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSpan
+
+namespace {
+thread_local std::uint32_t t_span_depth = 0;
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name) noexcept : name_(name) {
+  if (!collecting()) return;
+  armed_ = true;
+  depth_ = t_span_depth++;
+  start_ = monotonic_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  const std::uint64_t end = monotonic_ns();
+  --t_span_depth;
+  SpanRecord record;
+  record.name = name_;
+  record.start_ns = start_;
+  record.duration_ns = end >= start_ ? end - start_ : 0;
+  record.thread = thread_index();
+  record.depth = depth_;
+  Registry::global().record_span(std::move(record));
+}
+
+}  // namespace vn2::telemetry

@@ -1,0 +1,297 @@
+// vn2::telemetry — in-memory counters, gauges, latency histograms, and
+// scoped-span tracing for the VN2 pipeline itself.
+//
+// The paper instruments every mote with 43 metrics so operators can see
+// the network; this library applies the same discipline to our own hot
+// paths (simulator event loop, NMF updates, NNLS solves, parallel_for).
+// Design rules, mirroring the vn2-lint invariants:
+//
+//  * No IO. The registry only records in memory; serialization goes
+//    through an injected Sink (sink.hpp) and all file handling lives in
+//    the CLI/bench layer.
+//  * One clock. telemetry::monotonic_ns() is the single sanctioned
+//    wall-clock read site outside the simulator (vn2-lint exempts
+//    src/telemetry/); instrumented libraries call macros, never clocks.
+//  * Never feeds back. Telemetry observes the pipeline; results stay
+//    bit-identical with telemetry on, off, or compiled out.
+//
+// Instrumentation sites use the VN2_COUNT / VN2_GAUGE_SET / VN2_SPAN
+// macros below. Each macro caches a `static` reference to its metric on
+// first execution, so the steady-state cost of a counter bump is one
+// relaxed atomic add. Compile-time kill switch: configure with
+// -DVN2_TELEMETRY=OFF and every macro expands to a no-op (the library
+// itself still builds so tools can report "compiled out"). Runtime
+// switch: set_collecting(false) pauses recording behind one relaxed
+// atomic load, which is what bench_perf_nmf uses to measure overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vn2::telemetry {
+
+#ifndef VN2_TELEMETRY_ENABLED
+#define VN2_TELEMETRY_ENABLED 1
+#endif
+
+/// True when the instrumentation macros are compiled in.
+constexpr bool kCompiledIn = VN2_TELEMETRY_ENABLED != 0;
+
+/// Nanoseconds from a monotonic clock. The only sanctioned wall-clock
+/// read outside the simulator's virtual time.
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+/// Global runtime switch for all macro instrumentation (default on).
+void set_collecting(bool on) noexcept;
+[[nodiscard]] bool collecting() noexcept;
+
+// ---------------------------------------------------------------------------
+// Metric primitives. All methods are thread-safe; writers use relaxed
+// atomics (metrics are monotonic tallies, not synchronization).
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed histogram of nonnegative integer samples (typically
+/// durations in ns). Bucket b counts samples whose bit width is b, i.e.
+/// sample 0 -> bucket 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t sample) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot: a consistent, plain-data copy of the registry for sinks.
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0.
+  std::uint64_t max = 0;
+  /// (bucket index, count) for nonempty buckets, ascending.
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// One completed span occurrence (raw, for trace_event export).
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< monotonic_ns() at entry.
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread = 0;  ///< Small sequential id, stable per thread.
+  std::uint32_t depth = 0;   ///< Nesting depth within the thread, 0-based.
+};
+
+/// Aggregated statistics for all occurrences of one span name.
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+struct Snapshot {
+  bool compiled_in = kCompiledIn;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<SpanStats> span_stats;
+  std::vector<SpanRecord> spans;  ///< Raw spans, capped; see spans_dropped.
+  std::uint64_t spans_dropped = 0;
+
+  /// Value of a counter by name, or 0 when absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry: named metrics with stable addresses.
+
+class Registry {
+ public:
+  /// The process-wide registry used by the macros.
+  static Registry& global();
+
+  /// Finds or creates a metric. The returned reference stays valid for
+  /// the registry's lifetime (reset() zeroes values, never destroys),
+  /// which is what lets macros cache it in a function-local static.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Records one completed span: aggregates per-name stats and retains
+  /// the raw record until the retention cap (drops are counted).
+  void record_span(SpanRecord span);
+
+  /// Raw spans retained before new records are dropped (default 65536).
+  void set_span_capacity(std::size_t cap);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every metric and clears spans. Metric objects survive, so
+  /// references cached by macro call sites remain valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, SpanStats, std::less<>> span_stats_;
+  std::vector<SpanRecord> spans_;
+  std::size_t span_capacity_ = 65536;
+  std::uint64_t spans_dropped_ = 0;
+};
+
+/// RAII span: records [construction, destruction) into the global
+/// registry under `name`. Nesting is tracked per thread. `name` must be
+/// a string literal (or otherwise outlive the span).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ = 0;
+  std::uint32_t depth_ = 0;
+  bool armed_ = false;
+};
+
+/// Small sequential id for the calling thread (0 = first thread seen).
+[[nodiscard]] std::uint32_t thread_index() noexcept;
+
+}  // namespace vn2::telemetry
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. `name` must be a string literal; it is looked
+// up once per call site and cached in a function-local static.
+
+#define VN2_TELEM_CONCAT_INNER(a, b) a##b
+#define VN2_TELEM_CONCAT(a, b) VN2_TELEM_CONCAT_INNER(a, b)
+
+#if VN2_TELEMETRY_ENABLED
+
+#define VN2_COUNT_N(name, n)                                          \
+  do {                                                                \
+    if (::vn2::telemetry::collecting()) {                             \
+      static ::vn2::telemetry::Counter& vn2_telem_metric =            \
+          ::vn2::telemetry::Registry::global().counter(name);         \
+      vn2_telem_metric.add(static_cast<std::uint64_t>(n));            \
+    }                                                                 \
+  } while (false)
+
+#define VN2_GAUGE_SET(name, v)                                        \
+  do {                                                                \
+    if (::vn2::telemetry::collecting()) {                             \
+      static ::vn2::telemetry::Gauge& vn2_telem_metric =              \
+          ::vn2::telemetry::Registry::global().gauge(name);           \
+      vn2_telem_metric.set(static_cast<double>(v));                   \
+    }                                                                 \
+  } while (false)
+
+#define VN2_HISTOGRAM(name, v)                                        \
+  do {                                                                \
+    if (::vn2::telemetry::collecting()) {                             \
+      static ::vn2::telemetry::Histogram& vn2_telem_metric =          \
+          ::vn2::telemetry::Registry::global().histogram(name);       \
+      vn2_telem_metric.record(static_cast<std::uint64_t>(v));         \
+    }                                                                 \
+  } while (false)
+
+#define VN2_SPAN(name)                                                \
+  ::vn2::telemetry::ScopedSpan VN2_TELEM_CONCAT(vn2_telem_span_,      \
+                                                __LINE__) { name }
+
+/// Reads the monotonic clock when collecting, else 0. Pair with
+/// VN2_HISTOGRAM to time a region without a span record.
+#define VN2_CLOCK_NOW() \
+  (::vn2::telemetry::collecting() ? ::vn2::telemetry::monotonic_ns() : 0)
+
+#else  // !VN2_TELEMETRY_ENABLED
+
+// Compiled out: arguments are swallowed unevaluated. sizeof keeps the
+// expressions "used" so -Werror builds stay clean without side effects.
+#define VN2_COUNT_N(name, n) \
+  do {                       \
+    (void)sizeof(name);      \
+    (void)sizeof(n);         \
+  } while (false)
+#define VN2_GAUGE_SET(name, v) \
+  do {                         \
+    (void)sizeof(name);        \
+    (void)sizeof(v);           \
+  } while (false)
+#define VN2_HISTOGRAM(name, v) \
+  do {                         \
+    (void)sizeof(name);        \
+    (void)sizeof(v);           \
+  } while (false)
+#define VN2_SPAN(name) ((void)sizeof(name))
+#define VN2_CLOCK_NOW() (std::uint64_t{0})
+
+#endif  // VN2_TELEMETRY_ENABLED
+
+#define VN2_COUNT(name) VN2_COUNT_N(name, 1)

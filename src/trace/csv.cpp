@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vn2::trace {
 
 namespace {
@@ -22,6 +24,7 @@ double parse_double(const std::string& s) {
   try {
     return std::stod(s);
   } catch (const std::exception&) {
+    VN2_COUNT("trace.csv.rejects");
     throw std::runtime_error("csv: malformed numeric field '" + s + "'");
   }
 }
@@ -61,8 +64,10 @@ Trace read_trace_csv(std::istream& is) {
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const auto fields = split(line, ',');
-    if (fields.size() != 3 + metrics::kMetricCount)
+    if (fields.size() != 3 + metrics::kMetricCount) {
+      VN2_COUNT("trace.csv.rejects");
       throw std::runtime_error("csv: unexpected column count in row");
+    }
     const auto node = static_cast<wsn::NodeId>(parse_double(fields[0]));
     Snapshot snap;
     snap.epoch = static_cast<std::uint64_t>(parse_double(fields[1]));
@@ -74,6 +79,7 @@ Trace read_trace_csv(std::istream& is) {
     series.snapshots.push_back(snap);
     ++rows;
   }
+  VN2_COUNT_N("trace.csv.rows", rows);
 
   Trace trace;
   for (auto& [id, series] : by_node) {

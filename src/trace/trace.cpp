@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "telemetry/telemetry.hpp"
+
 #include "wsn/packet.hpp"
 
 namespace vn2::trace {
@@ -81,6 +83,7 @@ std::vector<StateVector> extract_states(const Trace& trace) {
       states.push_back(std::move(state));
     }
   }
+  VN2_COUNT_N("trace.states.extracted", states.size());
   return states;
 }
 

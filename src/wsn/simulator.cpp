@@ -4,7 +4,47 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace vn2::wsn {
+
+namespace {
+
+// Telemetry-only: one counter per fault class, so a snapshot shows the
+// injection mix without consulting the ground-truth log.
+void count_fault_injection(FaultCommand::Type type) {
+  switch (type) {
+    case FaultCommand::Type::kNodeFailure:
+      VN2_COUNT("sim.fault.node_failure");
+      break;
+    case FaultCommand::Type::kNodeReboot:
+      VN2_COUNT("sim.fault.node_reboot");
+      break;
+    case FaultCommand::Type::kLinkDegradation:
+      VN2_COUNT("sim.fault.link_degradation");
+      break;
+    case FaultCommand::Type::kJammer:
+      VN2_COUNT("sim.fault.jammer");
+      break;
+    case FaultCommand::Type::kForcedLoop:
+      VN2_COUNT("sim.fault.forced_loop");
+      break;
+    case FaultCommand::Type::kBatteryDrain:
+      VN2_COUNT("sim.fault.battery_drain");
+      break;
+    case FaultCommand::Type::kCongestionBurst:
+      VN2_COUNT("sim.fault.congestion_burst");
+      break;
+    case FaultCommand::Type::kNoiseRise:
+      VN2_COUNT("sim.fault.noise_rise");
+      break;
+    case FaultCommand::Type::kTemperatureSpike:
+      VN2_COUNT("sim.fault.temperature_spike");
+      break;
+  }
+}
+
+}  // namespace
 
 using metrics::MetricId;
 using metrics::PacketType;
@@ -74,6 +114,8 @@ std::vector<NodeId> Simulator::nodes_in_region(const Position& center,
 }
 
 void Simulator::inject(const FaultCommand& command) {
+  VN2_COUNT("sim.faults.injected");
+  count_fault_injection(command.type);
   InjectedFault record;
   record.command = command;
   record.hazard = hazard_of(command.type);
@@ -253,6 +295,7 @@ void Simulator::beacon_tick(NodeId id, std::uint32_t generation) {
   node.drain(beacon_airtime * config_.node.drain_per_radio_second +
              config_.node.drain_per_transmission);
   stats_.beacons_sent++;
+  VN2_COUNT("sim.beacons");
   bump_activity_around(id);
 
   const auto& candidates = in_range_[id];
@@ -486,6 +529,7 @@ void Simulator::attempt_transmission(NodeId id, std::uint32_t generation,
   if (backoffs < config_.csma_max_backoffs && chance(busy_probability(node))) {
     node.bump(MetricId::kMacBackoffCounter);
     stats_.mac_backoffs++;
+    VN2_COUNT("sim.mac.backoffs");
     node.bump(MetricId::kRadioOnTime, config_.backoff_delay);
     queue_.schedule_in(config_.backoff_delay * uniform(0.5, 1.5),
                        [this, id, generation, backoffs] {
@@ -510,6 +554,7 @@ void Simulator::attempt_transmission(NodeId id, std::uint32_t generation,
   node.drain(unicast_airtime * config_.node.drain_per_radio_second +
              config_.node.drain_per_transmission);
   stats_.data_transmissions++;
+  VN2_COUNT("sim.packets.tx");
   bump_activity_around(id);
 
   head.sender_path_etx = node.path_etx();
@@ -517,6 +562,7 @@ void Simulator::attempt_transmission(NodeId id, std::uint32_t generation,
   bool ack = false;
   if (parent.alive() && chance(link_prr(id, parent_id, now))) {
     stats_.data_delivered_hop++;
+    VN2_COUNT("sim.packets.rx");
     DataPacket copy = head;
     copy.hops++;
     deliver_to(parent_id, std::move(copy), ack);
@@ -550,11 +596,13 @@ void Simulator::attempt_transmission(NodeId id, std::uint32_t generation,
   // No ACK: retransmit up to the limit, then drop (paper: 30 tries).
   node.bump(MetricId::kNoackRetransmitCounter);
   stats_.noack_retransmits++;
+  VN2_COUNT("sim.packets.retransmits");
   node.retransmit_count++;
 
   if (node.retransmit_count >= config_.node.max_retransmissions) {
     node.bump(MetricId::kDropPacketCounter);
     stats_.drops_after_retry_limit++;
+    VN2_COUNT("sim.packets.dropped");
     node.pop_front();
   }
 
@@ -592,6 +640,7 @@ void Simulator::deliver_to(NodeId receiver_id, DataPacket packet, bool& ack) {
       packet.origin != receiver_id) {
     receiver.bump(MetricId::kLoopCounter);
     stats_.loops_detected++;
+    VN2_COUNT("sim.loops_detected");
     reset_beacon_interval(receiver);
     if (!receiver.route_pinned()) update_route(receiver_id);
   }
@@ -599,6 +648,7 @@ void Simulator::deliver_to(NodeId receiver_id, DataPacket packet, bool& ack) {
   if (packet.origin == receiver_id) {
     receiver.bump(MetricId::kLoopCounter);
     stats_.loops_detected++;
+    VN2_COUNT("sim.loops_detected");
     ack = true;  // Swallow it: origin drops its own returned packet.
     return;
   }
@@ -610,12 +660,14 @@ void Simulator::deliver_to(NodeId receiver_id, DataPacket packet, bool& ack) {
                                      << 24);
   if (receiver.check_duplicate(packet.origin, dup_key_seq)) {
     stats_.duplicates++;
+    VN2_COUNT("sim.packets.duplicates");
     ack = true;  // CTP acks duplicates so the sender stops retransmitting.
     return;
   }
 
   if (packet.hops >= config_.max_hops) {
     stats_.ttl_drops++;
+    VN2_COUNT("sim.packets.dropped");
     receiver.bump(MetricId::kDropPacketCounter);
     ack = true;  // Swallow: the packet has no future.
     return;
@@ -624,6 +676,7 @@ void Simulator::deliver_to(NodeId receiver_id, DataPacket packet, bool& ack) {
   if (receiver_id == kSinkId) {
     receiver.bump(MetricId::kReceiveCounter);
     stats_.packets_at_sink++;
+    VN2_COUNT("sim.packets.at_sink");
     sink_log_.push_back({now, packet.origin, packet.epoch, packet.type,
                          std::move(packet.values), packet.hops});
     ack = true;
@@ -633,6 +686,7 @@ void Simulator::deliver_to(NodeId receiver_id, DataPacket packet, bool& ack) {
   receiver.bump(MetricId::kReceiveCounter);
   if (!receiver.enqueue(std::move(packet))) {
     stats_.queue_overflows++;
+    VN2_COUNT("sim.packets.dropped");
     ack = false;  // Queue overflow: no ACK, sender will retransmit.
     return;
   }
@@ -687,7 +741,8 @@ void Simulator::update_route(NodeId id) {
 
 void Simulator::run_until(Time t) {
   start();
-  queue_.run_until(t);
+  const std::size_t executed = queue_.run_until(t);
+  VN2_COUNT_N("sim.events", executed);
 }
 
 SimulationResult Simulator::run() {

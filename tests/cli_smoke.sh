@@ -17,6 +17,23 @@ trap 'rm -rf "$WORK"' EXIT
     | grep -q "incidents from"
 "$VN2" silent --trace "$WORK/trace.csv" | grep -q "look silent"
 "$VN2" stats --trace "$WORK/trace.csv" | grep -q "nodes reporting"
+# Telemetry: any subcommand can snapshot its counters/spans; the profile
+# subcommand runs the whole pipeline and writes both formats. Counter
+# names only appear when instrumentation is compiled in (VN2_TELEMETRY=ON,
+# reported in the snapshot itself), so those checks are conditional.
+"$VN2" stats --trace "$WORK/trace.csv" --telemetry "$WORK/telemetry.json" \
+    > /dev/null
+grep -q '"counters"' "$WORK/telemetry.json"
+if grep -q '"telemetry_compiled": true' "$WORK/telemetry.json"; then
+  grep -q '"trace.csv.rows"' "$WORK/telemetry.json"
+fi
+"$VN2" profile --scenario tiny --nodes 12 --days 0.05 --seed 9 --rank 5 \
+    --out "$WORK/prof.json" --trace-out "$WORK/prof_trace.json" \
+    | grep -q "pipeline:"
+grep -q '"traceEvents"' "$WORK/prof_trace.json"
+if grep -q '"telemetry_compiled": true' "$WORK/prof.json"; then
+  grep -q '"nnls.solves"' "$WORK/prof.json"
+fi
 # Error paths exit non-zero.
 if "$VN2" train --trace /nonexistent.csv --out "$WORK/x" 2>/dev/null; then
   echo "expected failure on missing trace" >&2

@@ -1,0 +1,17 @@
+// Fixture: default-constructed mt19937 engines (unseeded-mt19937). The
+// explicitly seeded engines and the trailing-underscore member (seeded in
+// the constructor initializer) are near-misses that must stay clean.
+#include <random>
+
+struct Holder {
+  explicit Holder(unsigned seed) : member_rng_(seed) {}
+  std::mt19937_64 member_rng_;
+};
+
+unsigned roll() {
+  std::mt19937 bad;
+  std::mt19937_64 worse{};
+  std::mt19937 fine(42);
+  std::mt19937_64 seeded{123};
+  return static_cast<unsigned>(bad() + worse() + fine() + seeded());
+}

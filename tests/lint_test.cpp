@@ -56,6 +56,12 @@ TEST(Lint, ClockIsAllowedInSimulator) {
                         "nondeterminism-clock"));
 }
 
+TEST(Lint, ClockIsAllowedInTelemetry) {
+  EXPECT_FALSE(fires_on("nondeterminism_clock.cpp",
+                        "src/telemetry/telemetry.cpp",
+                        "nondeterminism-clock"));
+}
+
 TEST(Lint, FloatInNumericFires) {
   EXPECT_TRUE(fires_on("float_in_numeric.cpp", "src/linalg/bad.cpp",
                        "float-in-numeric"));
@@ -121,6 +127,59 @@ TEST(Lint, ParallelCaptureFires) {
   EXPECT_NE(capture_findings[0].message.find("'total'"), std::string::npos);
 }
 
+TEST(Lint, UnseededMt19937Fires) {
+  const auto findings =
+      lint_content("src/core/bad.cpp", fixture("unseeded_mt19937.cpp"));
+  std::size_t unseeded = 0;
+  for (const Finding& f : findings)
+    if (f.rule == "unseeded-mt19937") ++unseeded;
+  // `bad;` and `worse{}` — but NOT the seeded engines or the `member_rng_`
+  // member (trailing underscore: seeded in the constructor initializer).
+  EXPECT_EQ(unseeded, 2u);
+}
+
+TEST(Lint, UnseededMt19937AllowedInRandomHome) {
+  EXPECT_FALSE(fires_on("unseeded_mt19937.cpp", "src/linalg/random.cpp",
+                        "unseeded-mt19937"));
+}
+
+TEST(Lint, ParallelInventoryFiresWhenArmed) {
+  LintOptions options;
+  options.threading_inventory = std::set<std::string>{"src/core/listed.cpp"};
+  const auto findings = lint_content(
+      "src/core/unlisted.cpp", fixture("parallel_inventory.cpp"), options);
+  EXPECT_TRUE(rules_fired(findings).count("parallel-inventory"));
+}
+
+TEST(Lint, ParallelInventoryListedFileIsClean) {
+  LintOptions options;
+  options.threading_inventory = std::set<std::string>{"src/core/listed.cpp"};
+  const auto findings = lint_content(
+      "src/core/listed.cpp", fixture("parallel_inventory.cpp"), options);
+  EXPECT_FALSE(rules_fired(findings).count("parallel-inventory"));
+}
+
+TEST(Lint, ParallelInventoryDisabledWithoutInventory) {
+  EXPECT_FALSE(fires_on("parallel_inventory.cpp", "src/core/unlisted.cpp",
+                        "parallel-inventory"));
+}
+
+TEST(Lint, ParallelLayerIsExemptFromInventory) {
+  LintOptions options;
+  options.threading_inventory = std::set<std::string>{};
+  const auto findings = lint_content(
+      "src/core/parallel.cpp", fixture("parallel_inventory.cpp"), options);
+  EXPECT_FALSE(rules_fired(findings).count("parallel-inventory"));
+}
+
+TEST(Lint, ThreadingInventoryParsesFromDesignDoc) {
+  const auto inventory = parse_threading_inventory(
+      std::filesystem::path(VN2_LINT_REPO_ROOT) / "DESIGN.md");
+  ASSERT_TRUE(inventory.has_value());
+  EXPECT_TRUE(inventory->count("src/core/inference.cpp"));
+  EXPECT_TRUE(inventory->count("src/linalg/matrix.cpp"));
+}
+
 TEST(Lint, SuppressionCommentsSilenceFindings) {
   const auto findings =
       lint_content("src/core/bad.cpp", fixture("suppressed.cpp"));
@@ -165,9 +224,10 @@ TEST(Lint, FindingsAreLineAnchoredAndSorted) {
 TEST(Lint, RuleCatalogueIsStable) {
   const auto ids = rule_ids();
   const std::set<std::string> expected = {
-      "nondeterminism-random", "nondeterminism-clock", "float-in-numeric",
+      "nondeterminism-random", "nondeterminism-clock",   "float-in-numeric",
       "io-in-library",         "using-namespace-header", "naked-new",
-      "include-guard",         "parallel-capture"};
+      "unseeded-mt19937",      "include-guard",          "parallel-capture",
+      "parallel-inventory"};
   EXPECT_EQ(std::set<std::string>(ids.begin(), ids.end()), expected);
 }
 

@@ -1,0 +1,225 @@
+// Tests for the telemetry subsystem: registry thread-safety, span nesting,
+// both sink formats round-tripping, the runtime and compile-time switches,
+// and an end-to-end pipeline run leaving nonzero counters in every
+// instrumented family. All tests share the process-global registry, so
+// each starts with reset().
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "scenario/scenario.hpp"
+#include "support/synthetic.hpp"
+#include "telemetry/sink.hpp"
+#include "trace/trace.hpp"
+
+namespace vn2::telemetry {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    set_collecting(true);
+  }
+  void TearDown() override {
+    Registry::global().set_span_capacity(65536);
+    Registry::global().reset();
+    set_collecting(true);
+  }
+};
+
+TEST_F(TelemetryTest, ConcurrentIncrementsSumExactly) {
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 100000;
+  Counter& counter = Registry::global().counter("test.concurrent");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.add(1);
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(TelemetryTest, MetricReferencesSurviveReset) {
+  Counter& counter = Registry::global().counter("test.identity");
+  counter.add(5);
+  Registry::global().reset();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add(2);
+  EXPECT_EQ(&counter, &Registry::global().counter("test.identity"));
+  EXPECT_EQ(Registry::global().snapshot().counter("test.identity"), 2u);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsByBitWidth) {
+  Histogram& h = Registry::global().histogram("test.hist");
+  for (std::uint64_t sample : {0u, 1u, 2u, 3u, 4u, 7u, 8u}) h.record(sample);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 25u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_EQ(h.bucket(0), 1u);  // 0
+  EXPECT_EQ(h.bucket(1), 1u);  // 1
+  EXPECT_EQ(h.bucket(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket(3), 2u);  // 4, 7
+  EXPECT_EQ(h.bucket(4), 1u);  // 8
+}
+
+TEST_F(TelemetryTest, SpanNestingTracksDepth) {
+  {
+    ScopedSpan outer("test.outer");
+    ScopedSpan inner("test.inner");
+  }
+  const Snapshot snapshot = Registry::global().snapshot();
+  ASSERT_EQ(snapshot.spans.size(), 2u);
+  const SpanRecord* outer = nullptr;
+  const SpanRecord* inner = nullptr;
+  for (const SpanRecord& span : snapshot.spans) {
+    if (span.name == "test.outer") outer = &span;
+    if (span.name == "test.inner") inner = &span;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(outer->thread, inner->thread);
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->duration_ns, outer->duration_ns);
+}
+
+TEST_F(TelemetryTest, SpanCapacityDropsAreCounted) {
+  Registry::global().set_span_capacity(4);
+  for (int i = 0; i < 6; ++i) ScopedSpan span("test.capped");
+  const Snapshot snapshot = Registry::global().snapshot();
+  EXPECT_EQ(snapshot.spans.size(), 4u);
+  EXPECT_EQ(snapshot.spans_dropped, 2u);
+  // Aggregated stats still see every occurrence.
+  ASSERT_EQ(snapshot.span_stats.size(), 1u);
+  EXPECT_EQ(snapshot.span_stats[0].count, 6u);
+}
+
+TEST_F(TelemetryTest, JsonLinesRoundTrips) {
+  Registry::global().counter("test.count").add(42);
+  Registry::global().gauge("test.gauge").set(2.5);
+  Histogram& h = Registry::global().histogram("test.hist");
+  h.record(3);
+  h.record(900);
+  { ScopedSpan span("test.span"); }
+  const Snapshot before = Registry::global().snapshot();
+
+  StringSink sink;
+  write_json_lines(sink, before);
+  const Snapshot after = read_json_lines(sink.str());
+
+  EXPECT_EQ(after.compiled_in, before.compiled_in);
+  EXPECT_EQ(after.counters, before.counters);
+  EXPECT_EQ(after.gauges, before.gauges);
+  ASSERT_EQ(after.histograms.size(), 1u);
+  EXPECT_EQ(after.histograms[0].first, "test.hist");
+  EXPECT_EQ(after.histograms[0].second.count, 2u);
+  EXPECT_EQ(after.histograms[0].second.sum, 903u);
+  EXPECT_EQ(after.histograms[0].second.min, 3u);
+  EXPECT_EQ(after.histograms[0].second.max, 900u);
+  ASSERT_EQ(after.span_stats.size(), before.span_stats.size());
+  EXPECT_EQ(after.span_stats[0].name, "test.span");
+  EXPECT_EQ(after.span_stats[0].count, before.span_stats[0].count);
+  EXPECT_EQ(after.span_stats[0].total_ns, before.span_stats[0].total_ns);
+}
+
+TEST_F(TelemetryTest, TraceEventsRoundTrip) {
+  Registry::global().record_span({"alpha", 1000, 250, 0, 0});
+  Registry::global().record_span({"beta.gamma", 1250, 1, 1, 2});
+  const Snapshot snapshot = Registry::global().snapshot();
+
+  StringSink sink;
+  write_trace_events(sink, snapshot);
+  const std::vector<SpanRecord> parsed = read_trace_events(sink.str());
+
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "alpha");
+  EXPECT_EQ(parsed[0].start_ns, 1000u);
+  EXPECT_EQ(parsed[0].duration_ns, 250u);
+  EXPECT_EQ(parsed[0].thread, 0u);
+  EXPECT_EQ(parsed[0].depth, 0u);
+  EXPECT_EQ(parsed[1].name, "beta.gamma");
+  EXPECT_EQ(parsed[1].start_ns, 1250u);
+  EXPECT_EQ(parsed[1].duration_ns, 1u);
+  EXPECT_EQ(parsed[1].thread, 1u);
+  EXPECT_EQ(parsed[1].depth, 2u);
+}
+
+TEST_F(TelemetryTest, MalformedInputThrows) {
+  EXPECT_THROW((void)read_json_lines("{\"type\": \"nonsense\"}\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)read_trace_events("not json at all"),
+               std::runtime_error);
+}
+
+TEST_F(TelemetryTest, MacrosHonourCompileAndRuntimeSwitches) {
+  VN2_COUNT("test.macro");
+  VN2_COUNT_N("test.macro", 2);
+  { VN2_SPAN("test.macro_span"); }
+  Snapshot snapshot = Registry::global().snapshot();
+  if (kCompiledIn) {
+    EXPECT_EQ(snapshot.counter("test.macro"), 3u);
+    ASSERT_EQ(snapshot.span_stats.size(), 1u);
+    EXPECT_EQ(snapshot.span_stats[0].name, "test.macro_span");
+  } else {
+    // Compiled out: macros are no-ops and record nothing.
+    EXPECT_EQ(snapshot.counter("test.macro"), 0u);
+    EXPECT_TRUE(snapshot.span_stats.empty());
+    EXPECT_EQ(VN2_CLOCK_NOW(), 0u);
+  }
+
+  // Runtime pause: nothing records while collecting is off.
+  Registry::global().reset();
+  set_collecting(false);
+  VN2_COUNT("test.macro");
+  { VN2_SPAN("test.macro_span"); }
+  EXPECT_EQ(VN2_CLOCK_NOW(), 0u);
+  snapshot = Registry::global().snapshot();
+  EXPECT_EQ(snapshot.counter("test.macro"), 0u);
+  EXPECT_TRUE(snapshot.span_stats.empty());
+  set_collecting(true);
+}
+
+// The acceptance check: a real (small) pipeline run leaves nonzero
+// counters in every instrumented family — simulator events, NMF
+// iterations, NNLS solves, and parallel_for tasks.
+TEST_F(TelemetryTest, PipelineRunPopulatesEveryCounterFamily) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with VN2_TELEMETRY=OFF";
+
+  scenario::ScenarioBundle bundle = scenario::tiny(9, 600.0, 7);
+  const wsn::SimulationResult result = bundle.make_simulator().run();
+  const trace::Trace log = trace::build_trace(result);
+  (void)trace::extract_states(log);
+
+  const vn2::testing::SyntheticTrace synthetic = vn2::testing::make_synthetic(
+      vn2::testing::standard_causes(), 400, 11);
+  core::TrainingOptions options;
+  options.rank = 6;
+  const core::TrainingReport report = core::train(synthetic.states, options);
+  (void)core::diagnose_batch(report.model, synthetic.states);
+
+  const Snapshot snapshot = Registry::global().snapshot();
+  EXPECT_GT(snapshot.counter("sim.events"), 0u);
+  EXPECT_GT(snapshot.counter("sim.beacons"), 0u);
+  EXPECT_GT(snapshot.counter("trace.csv.rows") +
+                snapshot.counter("trace.states.extracted"),
+            0u);
+  EXPECT_GT(snapshot.counter("nmf.factorizations"), 0u);
+  EXPECT_GT(snapshot.counter("nmf.iterations"), 0u);
+  EXPECT_GT(snapshot.counter("nnls.solves"), 0u);
+  EXPECT_GT(snapshot.counter("parallel.tasks"), 0u);
+  EXPECT_GT(snapshot.counter("vn2.states.diagnosed"), 0u);
+}
+
+}  // namespace
+}  // namespace vn2::telemetry

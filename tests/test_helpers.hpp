@@ -1,76 +1,5 @@
-// Shared fixtures: synthetic state matrices with planted root causes, so the
-// core pipeline can be tested without running a full simulation.
+// Kept as a forwarding shim: the synthetic-scenario fixtures moved to
+// tests/support/synthetic.hpp so the bench binaries can share them.
 #pragma once
 
-#include <random>
-#include <vector>
-
-#include "linalg/matrix.hpp"
-#include "metrics/schema.hpp"
-
-namespace vn2::testing {
-
-/// A planted root cause: a set of metrics that move together (by `shift`
-/// sigma-like units) whenever the cause fires.
-struct PlantedCause {
-  std::vector<metrics::MetricId> metrics;
-  double shift = 6.0;
-};
-
-struct SyntheticTrace {
-  linalg::Matrix states;  ///< n × 43 raw states.
-  /// Per-row active causes (indices into the cause list; empty = normal).
-  std::vector<std::vector<std::size_t>> active;
-};
-
-/// Builds `n` states of unit Gaussian noise; each abnormal row additionally
-/// shifts the metrics of one or more planted causes. `abnormal_every`
-/// controls the exception density (every k-th row is abnormal).
-inline SyntheticTrace make_synthetic(const std::vector<PlantedCause>& causes,
-                                     std::size_t n, std::uint64_t seed,
-                                     std::size_t abnormal_every = 5,
-                                     bool allow_pairs = true) {
-  std::mt19937_64 rng(seed);
-  std::normal_distribution<double> noise(0.0, 1.0);
-  std::uniform_int_distribution<std::size_t> which(0, causes.size() - 1);
-  std::uniform_int_distribution<int> coin(0, 1);
-
-  SyntheticTrace trace;
-  trace.states = linalg::Matrix(n, metrics::kMetricCount);
-  trace.active.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t m = 0; m < metrics::kMetricCount; ++m)
-      trace.states(i, m) = noise(rng);
-    if (abnormal_every == 0 || i % abnormal_every != 0 || i == 0) continue;
-    trace.active[i].push_back(which(rng));
-    if (allow_pairs && coin(rng) == 1 && causes.size() > 1) {
-      std::size_t second = which(rng);
-      if (second != trace.active[i][0]) trace.active[i].push_back(second);
-    }
-    for (std::size_t c : trace.active[i])
-      for (metrics::MetricId id : causes[c].metrics)
-        trace.states(i, metrics::index_of(id)) += causes[c].shift;
-  }
-  return trace;
-}
-
-/// Three well-separated causes used across the core tests.
-inline std::vector<PlantedCause> standard_causes() {
-  using metrics::MetricId;
-  return {
-      // Routing loop: loop counter + traffic + duplicates surge.
-      {{MetricId::kLoopCounter, MetricId::kTransmitCounter,
-        MetricId::kSelfTransmitCounter, MetricId::kDuplicateCounter},
-       8.0},
-      // Contention: backoffs + NOACK retransmits.
-      {{MetricId::kMacBackoffCounter, MetricId::kNoackRetransmitCounter,
-        MetricId::kAckFailCounter},
-       8.0},
-      // Node failure neighborhood: parent churn + no-parent epochs.
-      {{MetricId::kParentChangeCounter, MetricId::kNoParentCounter,
-        MetricId::kNoackRetransmitCounter},
-       8.0},
-  };
-}
-
-}  // namespace vn2::testing
+#include "support/synthetic.hpp"

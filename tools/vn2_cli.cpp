@@ -25,6 +25,8 @@
 #include "core/silence.hpp"
 #include "core/vn2.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/csv.hpp"
 #include "trace/stats.hpp"
 #include "trace/trace.hpp"
@@ -83,10 +85,16 @@ int usage() {
       "  vn2 incidents --model model.vn2 --trace trace.csv [--gap seconds]\n"
       "  vn2 silent    --trace trace.csv [--factor F]\n"
       "  vn2 stats     --trace trace.csv\n"
+      "  vn2 profile   --scenario tiny|testbed|citysee [--days D] [--seed S]\n"
+      "                [--nodes N] [--rank R] [--top K] [--out snap.json]\n"
+      "                [--trace-out trace.json]\n"
       "\n"
       "global options:\n"
       "  --threads N   thread budget for analysis/simulation hot paths\n"
-      "                (default: hardware concurrency; 1 = fully serial)\n");
+      "                (default: hardware concurrency; 1 = fully serial)\n"
+      "  --telemetry FILE        write a telemetry snapshot (JSON) on exit\n"
+      "  --telemetry-trace FILE  write spans as chrome://tracing JSON on "
+      "exit\n");
   return 2;
 }
 
@@ -99,6 +107,35 @@ std::string run_output_path(const std::string& out, std::size_t run) {
       (slash != std::string::npos && dot < slash))
     return out + tag;
   return out.substr(0, dot) + tag + out.substr(dot);
+}
+
+bool known_scenario(const std::string& kind) {
+  return kind == "citysee" || kind == "testbed" || kind == "tiny";
+}
+
+/// Builds one scenario replication from CLI options (shared by simulate
+/// and profile). `run_seed` already includes any per-run offset.
+scenario::ScenarioBundle make_scenario_bundle(const std::string& kind,
+                                              const Args& args,
+                                              std::uint64_t run_seed) {
+  scenario::ScenarioBundle bundle;
+  if (kind == "citysee") {
+    scenario::CityseeParams params;
+    params.days = args.number("days", 1.0);
+    params.node_count = static_cast<std::size_t>(args.number("nodes", 286));
+    params.seed = run_seed;
+    bundle = scenario::citysee_field(params);
+  } else if (kind == "testbed") {
+    scenario::TestbedParams params;
+    params.seed = run_seed;
+    bundle = scenario::testbed(params);
+  } else {
+    bundle =
+        scenario::tiny(static_cast<std::size_t>(args.number("nodes", 16)),
+                       args.number("days", 0.125) * 86400.0, run_seed,
+                       args.number("spacing", 8.0));
+  }
+  return bundle;
 }
 
 int cmd_simulate(const Args& args) {
@@ -119,27 +156,9 @@ int cmd_simulate(const Args& args) {
   // of the scenario; run k's trace is identical whether it ran alone
   // (--seed seed+k) or inside a concurrent batch.
   auto make_bundle = [&](std::uint64_t run_seed) {
-    scenario::ScenarioBundle bundle;
-    if (kind == "citysee") {
-      scenario::CityseeParams params;
-      params.days = args.number("days", 1.0);
-      params.node_count =
-          static_cast<std::size_t>(args.number("nodes", 286));
-      params.seed = run_seed;
-      bundle = scenario::citysee_field(params);
-    } else if (kind == "testbed") {
-      scenario::TestbedParams params;
-      params.seed = run_seed;
-      bundle = scenario::testbed(params);
-    } else {
-      bundle =
-          scenario::tiny(static_cast<std::size_t>(args.number("nodes", 16)),
-                         args.number("days", 0.125) * 86400.0, run_seed,
-                         args.number("spacing", 8.0));
-    }
-    return bundle;
+    return make_scenario_bundle(kind, args, run_seed);
   };
-  if (kind != "citysee" && kind != "testbed" && kind != "tiny") {
+  if (!known_scenario(kind)) {
     std::fprintf(stderr, "simulate: unknown scenario '%s'\n", kind.c_str());
     return 2;
   }
@@ -353,6 +372,106 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry output: the library serializes through a Sink; the file
+// handles live here in the CLI, per the io-in-library rule.
+
+void write_telemetry_file(const std::string& path, bool chrome_trace) {
+  const telemetry::Snapshot snapshot =
+      telemetry::Registry::global().snapshot();
+  telemetry::StringSink sink;
+  if (chrome_trace)
+    telemetry::write_trace_events(sink, snapshot);
+  else
+    telemetry::write_json(sink, snapshot);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr)
+    throw std::runtime_error("cannot open for write: " + path);
+  std::fwrite(sink.str().data(), 1, sink.str().size(), file);
+  std::fclose(file);
+  std::printf("telemetry %s -> %s\n", chrome_trace ? "trace" : "snapshot",
+              path.c_str());
+}
+
+int cmd_profile(const Args& args) {
+  const std::string kind = args.get("scenario", "tiny");
+  if (!known_scenario(kind)) {
+    std::fprintf(stderr, "profile: unknown scenario '%s'\n", kind.c_str());
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 7));
+  const auto top = static_cast<std::size_t>(args.number("top", 12));
+
+  if (!telemetry::kCompiledIn)
+    std::printf("note: built with VN2_TELEMETRY=OFF; macro instrumentation "
+                "is compiled out\n");
+  telemetry::Registry::global().reset();
+  const std::uint64_t started = telemetry::monotonic_ns();
+
+  // The full pipeline, end to end: simulate -> assemble trace -> extract
+  // states -> train (rank sweep + NMF) -> batch diagnosis.
+  scenario::ScenarioBundle bundle = make_scenario_bundle(kind, args, seed);
+  std::printf("profiling '%s': %zu nodes, %.2f h, %zu threads\n",
+              kind.c_str(), bundle.config.positions.size(),
+              bundle.config.duration / 3600.0, core::num_threads());
+  wsn::Simulator sim = bundle.make_simulator();
+  const wsn::SimulationResult result = sim.run();
+  const trace::Trace log = trace::build_trace(result);
+  const auto states = trace::extract_states(log);
+  if (states.empty()) {
+    std::fprintf(stderr, "profile: scenario produced no states\n");
+    return 1;
+  }
+  core::TrainingOptions options;
+  options.rank = static_cast<std::size_t>(args.number("rank", 0));
+  options.exception_threshold = args.number("threshold", 0.30);
+  const linalg::Matrix state_matrix = trace::states_matrix(states);
+  const core::TrainingReport report = core::train(state_matrix, options);
+  core::Vn2Tool tool = core::Vn2Tool::from_model(report.model);
+  const auto diagnoses = tool.diagnose_states(state_matrix);
+  const double elapsed =
+      static_cast<double>(telemetry::monotonic_ns() - started) / 1e9;
+
+  std::size_t exceptions = 0;
+  for (const core::Diagnosis& d : diagnoses)
+    if (d.is_exception) ++exceptions;
+  std::printf("pipeline: %zu states, rank %zu, %zu exceptions, %.3f s\n",
+              states.size(), report.chosen_rank, exceptions, elapsed);
+
+  telemetry::Snapshot snapshot = telemetry::Registry::global().snapshot();
+  std::sort(snapshot.span_stats.begin(), snapshot.span_stats.end(),
+            [](const telemetry::SpanStats& a, const telemetry::SpanStats& b) {
+              return a.total_ns > b.total_ns;
+            });
+  std::printf("\nspans (top %zu by total time):\n", top);
+  std::printf("  %-28s %10s %12s %12s\n", "name", "count", "total ms",
+              "mean ms");
+  for (std::size_t i = 0; i < snapshot.span_stats.size() && i < top; ++i) {
+    const telemetry::SpanStats& s = snapshot.span_stats[i];
+    std::printf("  %-28s %10llu %12.3f %12.3f\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.count),
+                static_cast<double>(s.total_ns) / 1e6,
+                static_cast<double>(s.total_ns) / 1e6 /
+                    static_cast<double>(s.count));
+  }
+  std::printf("\ncounters:\n");
+  for (const auto& [name, value] : snapshot.counters)
+    std::printf("  %-28s %12llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  for (const auto& [name, h] : snapshot.histograms)
+    std::printf("  %-28s n=%llu mean=%.0fns min=%lluns max=%lluns\n",
+                name.c_str(), static_cast<unsigned long long>(h.count),
+                h.mean(), static_cast<unsigned long long>(h.min),
+                static_cast<unsigned long long>(h.max));
+
+  const std::string out = args.get("out");
+  if (!out.empty()) write_telemetry_file(out, /*chrome_trace=*/false);
+  const std::string trace_out = args.get("trace-out");
+  if (!trace_out.empty())
+    write_telemetry_file(trace_out, /*chrome_trace=*/true);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -365,13 +484,28 @@ int main(int argc, char** argv) {
     if (!args.get("threads").empty())
       vn2::core::set_num_threads(
           static_cast<std::size_t>(args.number("threads", 0)));
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "inspect") return cmd_inspect(args);
-    if (command == "diagnose") return cmd_diagnose(args);
-    if (command == "incidents") return cmd_incidents(args);
-    if (command == "silent") return cmd_silent(args);
-    if (command == "stats") return cmd_stats(args);
+    // Global telemetry outputs: written after any successful subcommand.
+    auto dispatch = [&]() -> std::optional<int> {
+      if (command == "simulate") return cmd_simulate(args);
+      if (command == "train") return cmd_train(args);
+      if (command == "inspect") return cmd_inspect(args);
+      if (command == "diagnose") return cmd_diagnose(args);
+      if (command == "incidents") return cmd_incidents(args);
+      if (command == "silent") return cmd_silent(args);
+      if (command == "stats") return cmd_stats(args);
+      if (command == "profile") return cmd_profile(args);
+      return std::nullopt;
+    };
+    const std::optional<int> status = dispatch();
+    if (status.has_value()) {
+      const std::string snapshot_path = args.get("telemetry");
+      if (!snapshot_path.empty() && *status == 0)
+        write_telemetry_file(snapshot_path, /*chrome_trace=*/false);
+      const std::string trace_path = args.get("telemetry-trace");
+      if (!trace_path.empty() && *status == 0)
+        write_telemetry_file(trace_path, /*chrome_trace=*/true);
+      return *status;
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "vn2 %s: %s\n", command.c_str(), error.what());
     return 1;

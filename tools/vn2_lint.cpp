@@ -165,14 +165,16 @@ bool is_library_code(const std::string& path) {
   return starts_with(path, "src/");
 }
 
-// The two sanctioned exception files: seeded RNG lives in linalg/random,
-// and the simulator owns the (virtual) clock.
+// The sanctioned exception files: seeded RNG lives in linalg/random, the
+// simulator owns the (virtual) clock, and the telemetry layer owns the
+// one real (monotonic) clock used for span timing.
 bool is_random_home(const std::string& path) {
   return starts_with(path, "src/linalg/random.");
 }
 
-bool is_simulator_clock(const std::string& path) {
-  return starts_with(path, "src/wsn/simulator.");
+bool is_clock_home(const std::string& path) {
+  return starts_with(path, "src/wsn/simulator.") ||
+         starts_with(path, "src/telemetry/");
 }
 
 // ---------------------------------------------------------------------------
@@ -195,9 +197,10 @@ const std::vector<PatternRule>& pattern_rules() {
                  [](const std::string& p) { return !is_random_home(p); }});
     r.push_back({"nondeterminism-clock",
                  "wall-clock time in analysis code; results must not depend "
-                 "on when they run (simulator time is the only clock)",
+                 "on when they run (simulator time and telemetry's "
+                 "monotonic_ns are the only clocks)",
                  std::regex(R"((std::chrono::\w*_clock::now)|(\btime\s*\()|(\bclock\s*\()|(\bgettimeofday\s*\())"),
-                 [](const std::string& p) { return !is_simulator_clock(p); }});
+                 [](const std::string& p) { return !is_clock_home(p); }});
     r.push_back({"float-in-numeric",
                  "float in a numeric kernel; linalg/nmf compute in double "
                  "only (bit-identical parallel results depend on it)",
@@ -221,6 +224,15 @@ const std::vector<PatternRule>& pattern_rules() {
                  "ownership is explicit and exception-safe",
                  std::regex(R"(\b(new|delete)\b)"),
                  [](const std::string&) { return true; }});
+    // Default-constructed engines seed from a fixed constant, which reads
+    // like determinism but silently correlates every such stream. The
+    // identifier must not end in '_': members are seeded in a constructor
+    // initializer the line can't see.
+    r.push_back({"unseeded-mt19937",
+                 "default-constructed std::mt19937; every engine must take "
+                 "an explicit seed (see linalg/random)",
+                 std::regex(R"(\bstd::mt19937(?:_64)?\s+(?:[A-Za-z_]\w*[A-Za-z0-9]|[A-Za-z])\s*(?:;|\{\s*\}|\(\s*\)))"),
+                 [](const std::string& p) { return !is_random_home(p); }});
     return r;
   }();
   return rules;
@@ -465,6 +477,26 @@ void check_parallel_captures(const std::string& path, const Preprocessed& src,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Threading inventory: DESIGN.md enumerates every file sanctioned to call
+// parallel_for, so a new call site forces a (reviewed) doc update. The
+// parallel layer itself is exempt — it defines the function.
+
+void check_parallel_inventory(const std::string& path, const Preprocessed& src,
+                              const LintOptions& options,
+                              std::vector<Finding>& findings) {
+  if (!options.threading_inventory) return;
+  if (starts_with(path, "src/core/parallel.")) return;
+  if (options.threading_inventory->count(path)) return;
+  static const std::regex kCall(R"(\bparallel_for\s*\()");
+  for (std::size_t i = 0; i < src.lines.size(); ++i)
+    if (std::regex_search(src.lines[i], kCall))
+      findings.push_back(
+          {path, i + 1, "parallel-inventory",
+           "parallel_for call site not listed in DESIGN.md's threading "
+           "inventory; add the file there (and justify the parallelism)"});
+}
+
 void apply_suppressions(const Preprocessed& src,
                         std::vector<Finding>& findings) {
   findings.erase(
@@ -484,11 +516,44 @@ std::vector<std::string> rule_ids() {
   for (const PatternRule& rule : pattern_rules()) ids.push_back(rule.id);
   ids.push_back("include-guard");
   ids.push_back("parallel-capture");
+  ids.push_back("parallel-inventory");
   return ids;
 }
 
+std::optional<std::set<std::string>> parse_threading_inventory(
+    const std::filesystem::path& design_md) {
+  std::ifstream in(design_md, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::set<std::string> inventory;
+  bool in_section = false;
+  bool found_section = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') {
+      if (line.find("Threading inventory") != std::string::npos) {
+        in_section = true;
+        found_section = true;
+      } else {
+        in_section = false;
+      }
+      continue;
+    }
+    if (!in_section) continue;
+    std::size_t open = 0;
+    while ((open = line.find('`', open)) != std::string::npos) {
+      const std::size_t close = line.find('`', open + 1);
+      if (close == std::string::npos) break;
+      inventory.insert(line.substr(open + 1, close - open - 1));
+      open = close + 1;
+    }
+  }
+  if (!found_section) return std::nullopt;
+  return inventory;
+}
+
 std::vector<Finding> lint_content(const std::string& path,
-                                  const std::string& content) {
+                                  const std::string& content,
+                                  const LintOptions& options) {
   const Preprocessed src = preprocess(content);
   std::vector<Finding> findings;
 
@@ -509,6 +574,7 @@ std::vector<Finding> lint_content(const std::string& path,
 
   check_include_guard(path, src, findings);
   check_parallel_captures(path, src, findings);
+  check_parallel_inventory(path, src, options, findings);
   apply_suppressions(src, findings);
 
   std::sort(findings.begin(), findings.end(),
@@ -519,14 +585,20 @@ std::vector<Finding> lint_content(const std::string& path,
   return findings;
 }
 
+std::vector<Finding> lint_content(const std::string& path,
+                                  const std::string& content) {
+  return lint_content(path, content, LintOptions{});
+}
+
 std::vector<Finding> lint_file(const std::filesystem::path& file,
-                               const std::string& relative) {
+                               const std::string& relative,
+                               const LintOptions& options) {
   std::ifstream in(file, std::ios::binary);
   if (!in)
     return {{relative, 0, "io-error", "cannot read file"}};
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return lint_content(relative, buffer.str());
+  return lint_content(relative, buffer.str(), options);
 }
 
 std::vector<Finding> lint_tree(const std::filesystem::path& root,
@@ -534,6 +606,9 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root,
   static const std::vector<std::string> kDefaultDirs = {"src", "tools",
                                                         "bench", "examples"};
   const std::vector<std::string>& walk = dirs.empty() ? kDefaultDirs : dirs;
+
+  LintOptions options;
+  options.threading_inventory = parse_threading_inventory(root / "DESIGN.md");
 
   std::vector<Finding> findings;
   for (const std::string& dir : walk) {
@@ -552,7 +627,7 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root,
     for (const auto& file : files) {
       std::string relative =
           std::filesystem::relative(file, root).generic_string();
-      auto file_findings = lint_file(file, relative);
+      auto file_findings = lint_file(file, relative, options);
       findings.insert(findings.end(), file_findings.begin(),
                       file_findings.end());
     }

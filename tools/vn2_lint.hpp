@@ -16,6 +16,8 @@
 #pragma once
 
 #include <filesystem>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,21 +31,41 @@ struct Finding {
   std::string message;  ///< Human-readable explanation.
 };
 
+/// Cross-file context some rules need. Rules whose context is absent
+/// (nullopt) are disabled, so single-file linting stays meaningful.
+struct LintOptions {
+  /// Repo-relative paths sanctioned to call parallel_for, parsed from the
+  /// threading inventory in DESIGN.md. nullopt disables the
+  /// parallel-inventory rule.
+  std::optional<std::set<std::string>> threading_inventory;
+};
+
 /// Identifiers of every rule, in reporting order.
 [[nodiscard]] std::vector<std::string> rule_ids();
+
+/// Parses the "### Threading inventory" section of DESIGN.md: every
+/// backtick-quoted path until the next heading. nullopt when the file or
+/// the section is missing.
+[[nodiscard]] std::optional<std::set<std::string>> parse_threading_inventory(
+    const std::filesystem::path& design_md);
 
 /// Lints one file's contents. `path` (repo-relative, forward slashes) is
 /// used both for reporting and for rule scoping — e.g. the float ban only
 /// applies under src/linalg and src/nmf.
 [[nodiscard]] std::vector<Finding> lint_content(const std::string& path,
+                                                const std::string& content,
+                                                const LintOptions& options);
+[[nodiscard]] std::vector<Finding> lint_content(const std::string& path,
                                                 const std::string& content);
 
 /// Reads and lints one file on disk, reporting it as `relative`.
 [[nodiscard]] std::vector<Finding> lint_file(const std::filesystem::path& file,
-                                             const std::string& relative);
+                                             const std::string& relative,
+                                             const LintOptions& options = {});
 
 /// Walks `dirs` (default: src, tools, bench, examples) under `root` and
-/// lints every C++ source/header found.
+/// lints every C++ source/header found. Reads `root`/DESIGN.md to arm the
+/// parallel-inventory rule.
 [[nodiscard]] std::vector<Finding> lint_tree(
     const std::filesystem::path& root,
     const std::vector<std::string>& dirs = {});
