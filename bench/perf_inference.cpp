@@ -16,6 +16,7 @@
 #include "core/inference.hpp"
 #include "core/model.hpp"
 #include "core/parallel.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/random.hpp"
 #include "support/synthetic.hpp"
@@ -179,6 +180,72 @@ void run_parallel_report(const char* json_path) {
   std::printf("parallel report -> %s\n", json_path);
 }
 
+// Per-backend serial diagnosis: the whole diagnose path (NNLS against Ψᵀ)
+// under each kernel backend, with a weight-identity check — diagnosis must
+// not depend on which backend ran it.
+void run_linalg_backend_report(const char* json_path) {
+  using vn2::linalg::Backend;
+  const std::size_t batch = 1000;
+  const TrainingReport report = trained_model(25);
+  const Matrix probes = vn2::testing::synthetic_states(batch, 6);
+
+  vn2::core::set_num_threads(1);
+  auto run_with = [&](Backend be, double* seconds) {
+    vn2::linalg::set_backend(be);
+    // vn2-lint: allow(nondeterminism-clock)
+    const auto start = std::chrono::steady_clock::now();
+    auto diagnoses = vn2::core::diagnose_batch(report.model, probes);
+    *seconds = seconds_since(start);
+    return diagnoses;
+  };
+  double reference_seconds = 0.0, blocked_seconds = 0.0;
+  const auto reference = run_with(Backend::kReference, &reference_seconds);
+  const auto blocked = run_with(Backend::kBlocked, &blocked_seconds);
+  vn2::core::set_num_threads(0);
+  vn2::linalg::set_backend(vn2::linalg::parse_backend("auto").value());
+
+  bool identical = reference.size() == blocked.size();
+  for (std::size_t i = 0; identical && i < reference.size(); ++i) {
+    identical = reference[i].residual == blocked[i].residual;
+    for (std::size_t r = 0; identical && r < reference[i].weights.size(); ++r)
+      identical = reference[i].weights[r] == blocked[i].weights[r];
+  }
+
+  const double speedup =
+      blocked_seconds > 0.0 ? reference_seconds / blocked_seconds : 0.0;
+  std::printf("diagnose_batch of %zu states (r=25, 1 thread): reference "
+              "%.3fs, blocked %.3fs, speedup %.2fx, weights %s\n",
+              batch, reference_seconds, blocked_seconds, speedup,
+              identical ? "identical" : "DIVERGED");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"diagnose_batch_backends\",\n"
+               "  \"batch\": %zu,\n"
+               "  \"rank\": 25,\n"
+               "  \"blocked_compiled\": %s,\n"
+               "  \"rows\": [\n"
+               "    {\"backend\": \"reference\", \"threads\": 1, "
+               "\"seconds\": %.6f},\n"
+               "    {\"backend\": \"blocked\", \"threads\": 1, "
+               "\"seconds\": %.6f}\n"
+               "  ],\n"
+               "  \"speedup\": %.4f,\n"
+               "  \"bit_identical\": %s\n"
+               "}\n",
+               batch,
+               vn2::linalg::blocked_kernels_compiled() ? "true" : "false",
+               reference_seconds, blocked_seconds, speedup,
+               identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("linalg backend report -> %s\n", json_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,7 +260,10 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  if (!skip_report) run_parallel_report("BENCH_parallel_inference.json");
+  if (!skip_report) {
+    run_parallel_report("BENCH_parallel_inference.json");
+    run_linalg_backend_report("BENCH_linalg_inference.json");
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

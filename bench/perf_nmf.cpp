@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/nnls.hpp"
 #include "linalg/random.hpp"
 #include "nmf/nmf.hpp"
 #include "nmf/rank_selection.hpp"
@@ -194,6 +196,135 @@ void run_parallel_report(const char* json_path) {
   std::printf("parallel report -> %s\n", json_path);
 }
 
+// Reference-vs-blocked kernel backends on the two linalg hot paths: a
+// CitySee-scale NMF factorization (GEMM-bound) and a batch of NNLS solves
+// (SYRK/GEMV-bound), at 1 thread and at the parallel budget. Both backends
+// follow the same per-element accumulation order, so the objectives must
+// agree bit-for-bit; the JSON records that check plus the speedups.
+void run_linalg_backend_report(const char* json_path) {
+  using vn2::linalg::Backend;
+  const Matrix e = exceptions_like(2000, 86, 7);
+  vn2::nmf::NmfOptions options;
+  options.max_iterations = 60;
+  options.relative_tolerance = 0.0;  // Fixed work for comparability.
+  options.record_objective = false;
+
+  auto time_factorize = [&](Backend be, std::size_t threads,
+                            double* objective) {
+    vn2::linalg::set_backend(be);
+    vn2::core::set_num_threads(threads);
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 2; ++rep) {
+      const std::uint64_t t0 = vn2::telemetry::monotonic_ns();
+      auto result = vn2::nmf::factorize(e, 25, options);
+      best = std::min(
+          best, static_cast<double>(vn2::telemetry::monotonic_ns() - t0) / 1e9);
+      *objective = result.approximation_accuracy(e);
+      benchmark::DoNotOptimize(result.psi.data());
+    }
+    return best;
+  };
+
+  // NNLS: diagnose-shaped solves against A = Ψᵀ (86×25) — the SYRK/GEMV
+  // path. Serial: each solve is small; this isolates kernel cost.
+  const Matrix psi_t =
+      vn2::linalg::random_uniform_matrix(86, 25, 13, 0.05, 1.0);
+  const std::size_t nnls_batch = 400;
+  auto time_nnls = [&](Backend be, double* checksum) {
+    vn2::linalg::set_backend(be);
+    vn2::core::set_num_threads(1);
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 2; ++rep) {
+      double acc = 0.0;
+      const std::uint64_t t0 = vn2::telemetry::monotonic_ns();
+      for (std::size_t i = 0; i < nnls_batch; ++i) {
+        const auto b = vn2::linalg::random_uniform_vector(86, 100 + i,
+                                                          0.0, 4.0);
+        const auto solution = vn2::linalg::nnls(psi_t, b);
+        acc += solution.residual_norm;
+      }
+      best = std::min(
+          best, static_cast<double>(vn2::telemetry::monotonic_ns() - t0) / 1e9);
+      *checksum = acc;
+    }
+    return best;
+  };
+
+  const std::size_t hardware = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const std::size_t parallel_threads = std::max<std::size_t>(8, hardware);
+
+  double obj_ref_1t = 0.0, obj_blk_1t = 0.0;
+  double obj_ref_mt = 0.0, obj_blk_mt = 0.0;
+  double nnls_ref_sum = 0.0, nnls_blk_sum = 0.0;
+  const double ref_1t = time_factorize(Backend::kReference, 1, &obj_ref_1t);
+  const double blk_1t = time_factorize(Backend::kBlocked, 1, &obj_blk_1t);
+  const double ref_mt =
+      time_factorize(Backend::kReference, parallel_threads, &obj_ref_mt);
+  const double blk_mt =
+      time_factorize(Backend::kBlocked, parallel_threads, &obj_blk_mt);
+  const double nnls_ref = time_nnls(Backend::kReference, &nnls_ref_sum);
+  const double nnls_blk = time_nnls(Backend::kBlocked, &nnls_blk_sum);
+  vn2::core::set_num_threads(0);
+  vn2::linalg::set_backend(vn2::linalg::parse_backend("auto").value());
+
+  const bool identical = obj_ref_1t == obj_blk_1t && obj_ref_mt == obj_blk_mt &&
+                         obj_ref_1t == obj_ref_mt &&
+                         nnls_ref_sum == nnls_blk_sum;
+  const double speedup_1t = blk_1t > 0.0 ? ref_1t / blk_1t : 0.0;
+  const double speedup_mt = blk_mt > 0.0 ? ref_mt / blk_mt : 0.0;
+  const double speedup_nnls = nnls_blk > 0.0 ? nnls_ref / nnls_blk : 0.0;
+  std::printf(
+      "linalg backends on factorize 2000x86 r=25 (60 iters): reference "
+      "%.3fs/%.3fs, blocked %.3fs/%.3fs (1/%zu threads), speedup %.2fx/%.2fx; "
+      "nnls 86x25 x%zu: reference %.3fs, blocked %.3fs, speedup %.2fx; "
+      "outputs %s [blocked %s]\n",
+      ref_1t, ref_mt, blk_1t, blk_mt, parallel_threads, speedup_1t, speedup_mt,
+      nnls_batch, nnls_ref, nnls_blk, speedup_nnls,
+      identical ? "identical" : "DIVERGED",
+      vn2::linalg::blocked_kernels_compiled() ? "compiled in" : "compiled OUT");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"linalg_backends\",\n"
+      "  \"blocked_compiled\": %s,\n"
+      "  \"factorize\": {\n"
+      "    \"workload\": \"factorize 2000x86 r=25, 60 iterations\",\n"
+      "    \"rows\": [\n"
+      "      {\"backend\": \"reference\", \"threads\": 1, \"seconds\": %.6f},\n"
+      "      {\"backend\": \"blocked\", \"threads\": 1, \"seconds\": %.6f},\n"
+      "      {\"backend\": \"reference\", \"threads\": %zu, "
+      "\"seconds\": %.6f},\n"
+      "      {\"backend\": \"blocked\", \"threads\": %zu, "
+      "\"seconds\": %.6f}\n"
+      "    ],\n"
+      "    \"speedup_1_thread\": %.4f,\n"
+      "    \"speedup_%zu_threads\": %.4f\n"
+      "  },\n"
+      "  \"nnls\": {\n"
+      "    \"workload\": \"nnls 86x25, %zu solves, 1 thread\",\n"
+      "    \"rows\": [\n"
+      "      {\"backend\": \"reference\", \"threads\": 1, \"seconds\": %.6f},\n"
+      "      {\"backend\": \"blocked\", \"threads\": 1, \"seconds\": %.6f}\n"
+      "    ],\n"
+      "    \"speedup\": %.4f\n"
+      "  },\n"
+      "  \"bit_identical\": %s\n"
+      "}\n",
+      vn2::linalg::blocked_kernels_compiled() ? "true" : "false", ref_1t,
+      blk_1t, parallel_threads, ref_mt, parallel_threads, blk_mt, speedup_1t,
+      parallel_threads, speedup_mt, nnls_batch, nnls_ref, nnls_blk,
+      speedup_nnls, identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("linalg backend report -> %s\n", json_path);
+}
+
 // Telemetry overhead on a fixed factorization workload: the same run with
 // collection paused (one relaxed atomic load per macro) vs collecting.
 // The <3% budget is the acceptance bar for keeping instrumentation always
@@ -274,6 +405,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (!skip_report) {
     run_parallel_report("BENCH_parallel.json");
+    run_linalg_backend_report("BENCH_linalg.json");
     run_telemetry_report("BENCH_telemetry.json");
   }
   benchmark::RunSpecifiedBenchmarks();

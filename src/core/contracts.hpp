@@ -1,19 +1,30 @@
 // Contract assertions for VN2's numeric pipeline.
 //
-// Two macros guard the analysis hot paths:
+// Three macros guard the analysis hot paths:
 //
-//   VN2_REQUIRE(cond, what)  — precondition at an API boundary (shape
-//                              agreement, rank bounds, schema length).
+//   VN2_CHECK(cond, what)    — precondition that must hold in EVERY build
+//                              mode (shape agreement at a public API
+//                              boundary). Always throws on violation; this
+//                              is the one mechanism behind the library's
+//                              "throws std::invalid_argument on bad input"
+//                              promise, replacing the old pattern of a
+//                              VN2_REQUIRE duplicated by a hand-rolled
+//                              throw of the same predicate.
+//   VN2_REQUIRE(cond, what)  — precondition at an API boundary that is
+//                              compiled out of Release (rank bounds,
+//                              schema length: conditions a correct caller
+//                              makes structurally impossible).
 //   VN2_ASSERT(cond, what)   — internal invariant / postcondition (NMF
 //                              factors stay non-negative, NNLS output is
 //                              feasible, Cholesky pivots are positive).
 //
-// Both are active in Debug builds (NDEBUG undefined) and in any build
-// configured with -DVN2_CHECKED=ON; in plain Release builds they compile
-// to nothing, so the hot paths carry zero overhead (verified against the
-// BENCH_parallel*.json baselines). Failures throw ContractViolation, which
-// derives from std::invalid_argument so call sites that already promise
-// std::invalid_argument on bad input keep that promise in checked builds.
+// VN2_REQUIRE and VN2_ASSERT are active in Debug builds (NDEBUG undefined)
+// and in any build configured with -DVN2_CHECKED=ON; in plain Release
+// builds they compile to nothing, so the hot paths carry zero overhead
+// (verified against the BENCH_parallel*.json baselines). All three throw
+// ContractViolation, which derives from std::invalid_argument so call
+// sites that already promise std::invalid_argument on bad input keep that
+// promise in every build mode.
 //
 // This header lives in core/ but depends on nothing else in VN2 (like
 // core/parallel.hpp, it ships in the base vn2_parallel library), so the
@@ -57,6 +68,14 @@ namespace detail {
 #else
 #define VN2_CONTRACTS_ACTIVE 0
 #endif
+
+// Always-on precondition: one check, one error path, in every build mode.
+#define VN2_CHECK(cond, what)                                            \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::vn2::core::detail::contract_failed("precondition", #cond, what,  \
+                                           __FILE__, __LINE__);          \
+  } while (false)
 
 #if VN2_CONTRACTS_ACTIVE
 #define VN2_REQUIRE(cond, what)                                          \

@@ -53,10 +53,8 @@ void check_batch_input(const Vn2Model& model, const Matrix& raw_states,
                        const char* who) {
   if (!model.trained())
     throw std::invalid_argument(std::string(who) + ": model is not trained");
-  VN2_REQUIRE(raw_states.cols() == metrics::kMetricCount,
-              "batch states must match the 43-metric schema");
-  if (raw_states.cols() != metrics::kMetricCount)
-    throw std::invalid_argument(std::string(who) + ": need 43 columns");
+  VN2_CHECK(raw_states.cols() == metrics::kMetricCount,
+            "batch states must match the 43-metric schema");
 }
 
 }  // namespace
@@ -65,10 +63,8 @@ Diagnosis diagnose(const Vn2Model& model, const Vector& raw_state,
                    const DiagnoseOptions& options) {
   if (!model.trained())
     throw std::invalid_argument("diagnose: model is not trained");
-  VN2_REQUIRE(raw_state.size() == metrics::kMetricCount,
-              "diagnose: state vector must match the 43-metric schema");
-  if (raw_state.size() != metrics::kMetricCount)
-    throw std::invalid_argument("diagnose: state must have 43 entries");
+  VN2_CHECK(raw_state.size() == metrics::kMetricCount,
+            "diagnose: state vector must match the 43-metric schema");
   return diagnose_against(linalg::transpose(model.psi()), model, raw_state,
                           options);
 }

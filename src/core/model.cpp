@@ -94,11 +94,9 @@ Vn2Model Vn2Model::load(const std::string& path) {
 }
 
 TrainingReport train(const Matrix& raw_states, const TrainingOptions& options) {
-  VN2_REQUIRE(raw_states.rows() > 0 &&
-                  raw_states.cols() == metrics::kMetricCount,
-              "train: states must match the 43-metric schema");
-  if (raw_states.rows() == 0 || raw_states.cols() != metrics::kMetricCount)
-    throw std::invalid_argument("train: need a non-empty n x 43 state matrix");
+  VN2_CHECK(raw_states.rows() > 0 &&
+                raw_states.cols() == metrics::kMetricCount,
+            "train: need a non-empty n x 43 state matrix");
 
   VN2_SPAN("vn2.train");
   TrainingReport report;

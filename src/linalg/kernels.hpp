@@ -1,0 +1,93 @@
+// Pluggable dense-kernel backends for the linalg hot paths.
+//
+// Every expensive operation in the analysis pipeline — NMF multiplicative
+// updates, the NNLS Gram solves, batch diagnosis — reduces to the handful
+// of primitives declared here (GEMM over a row range, GEMV, SYRK-style
+// Gram, dot, axpy). Two implementations sit behind one dispatch point:
+//
+//   * reference — the straightforward scalar loops the repo started with,
+//     kept as the semantics oracle for parity testing.
+//   * blocked   — cache-blocked, vectorization-friendly kernels: 4-row ×
+//     16-column register tiles for GEMM/GEMV and 4-row panels for SYRK,
+//     written in plain C++ (restrict-qualified pointers, per-tile inner
+//     loops the autovectorizer can lift; no intrinsics).
+//
+// Reproducibility contract: both backends accumulate every output element
+// in the SAME order (ascending inner index, one accumulator per element —
+// blocking only regroups independent elements, never splits a sum), so
+// results do not depend on the backend, on tile boundaries, or on how the
+// caller partitions rows across threads. dot/axpy share a single
+// implementation and are bit-exact by construction; GEMM/SYRK/GEMV are
+// held to ≤1e-13 relative agreement by tests/linalg_backend_test.cpp to
+// stay robust against FMA-contraction differences between the loop shapes.
+//
+// The backend is process-global (an atomic, like core::set_num_threads):
+// `set_backend()` from code, `--linalg-backend {auto,reference,blocked}`
+// from the CLI. Building with -DVN2_BLOCKED_KERNELS=OFF compiles the
+// blocked bodies out entirely; requesting them then falls back to
+// reference (observable via backend(), asserted by CI's reference-only
+// job).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace vn2::linalg {
+
+/// Kernel implementation families. kAuto resolves at set time: blocked
+/// when compiled in, reference otherwise.
+enum class Backend {
+  kReference,
+  kBlocked,
+};
+
+/// Selects the process-global backend. Requesting kBlocked in a build
+/// configured with -DVN2_BLOCKED_KERNELS=OFF silently resolves to
+/// kReference (backend() reports what actually runs). Call from the main
+/// thread between parallel regions, like core::set_num_threads.
+void set_backend(Backend backend) noexcept;
+
+/// The backend every kernel currently dispatches to.
+[[nodiscard]] Backend backend() noexcept;
+
+/// True when the blocked kernels were compiled in (VN2_BLOCKED_KERNELS).
+[[nodiscard]] bool blocked_kernels_compiled() noexcept;
+
+/// "reference" / "blocked".
+[[nodiscard]] const char* backend_name(Backend backend) noexcept;
+
+/// Parses a --linalg-backend value: "auto" (blocked when available),
+/// "reference", or "blocked". Returns nullopt on anything else.
+[[nodiscard]] std::optional<Backend> parse_backend(std::string_view name);
+
+namespace kernels {
+
+/// C rows [row_begin, row_end) of the product A(n×k)·B(k×m), row-major raw
+/// pointers, overwriting the output rows. Rows are independent, so callers
+/// partition [0, n) across threads however they like without affecting
+/// results. No sparsity shortcuts: NaN/Inf in either operand propagate per
+/// IEEE semantics.
+void gemm_rows(const double* a, const double* b, double* c, std::size_t k,
+               std::size_t m, std::size_t row_begin, std::size_t row_end);
+
+/// y = A(rows×cols)·x, overwriting y.
+void gemv(const double* a, const double* x, double* y, std::size_t rows,
+          std::size_t cols);
+
+/// G(k×k) = AᵀA for row-major A(rows×k): the SYRK-style Gram kernel behind
+/// NNLS's passive-set solve. Computes the upper triangle and mirrors it;
+/// G is overwritten.
+void syrk_upper(const double* a, std::size_t rows, std::size_t k, double* g);
+
+/// Euclidean dot product over n entries. Shared by both backends
+/// (bit-exact across backend switches by construction).
+[[nodiscard]] double dot(const double* a, const double* b,
+                         std::size_t n) noexcept;
+
+/// y += alpha·x over n entries. Shared by both backends.
+void axpy(double alpha, const double* x, double* y, std::size_t n) noexcept;
+
+}  // namespace kernels
+
+}  // namespace vn2::linalg

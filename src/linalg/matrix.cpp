@@ -8,6 +8,7 @@
 
 #include "core/contracts.hpp"
 #include "core/parallel.hpp"
+#include "linalg/kernels.hpp"
 
 namespace vn2::linalg {
 
@@ -174,70 +175,74 @@ Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
 Matrix operator*(Matrix m, double s) { return m *= s; }
 Matrix operator*(double s, Matrix m) { return m *= s; }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
-  VN2_REQUIRE(a.cols() == b.rows(), "matmul: inner dimension mismatch");
-  require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
-  Matrix out(a.rows(), b.cols(), 0.0);
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  VN2_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  VN2_CHECK(&out != &a && &out != &b,
+            "matmul_into: output must not alias an input");
+  VN2_CHECK(out.rows() == a.rows() && out.cols() == b.cols(),
+            "matmul_into: output shape mismatch");
   const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
-  // i-k-j loop order keeps both B and the output row-contiguous. Each
-  // output row depends only on row i of A and all of B, so the row loop
-  // partitions cleanly across threads and the result is bit-identical to
-  // the serial loop at any thread count.
-  auto compute_row = [&](std::size_t i) {
-    const double* arow = a.data() + i * k;
-    double* orow = out.data() + i * m;
-    for (std::size_t p = 0; p < k; ++p) {
-      const double aip = arow[p];
-      if (aip == 0.0) continue;
-      const double* brow = b.data() + p * m;
-      for (std::size_t j = 0; j < m; ++j) orow[j] += aip * brow[j];
-    }
-  };
-  // Only go parallel when there is enough arithmetic to amortize the
-  // dispatch; tiny products (the vast majority of calls in tests) take the
-  // plain loop.
+  // Rows of the output are independent, and the kernel computes every row
+  // with the same per-element accumulation order regardless of how the
+  // range is partitioned, so the result is bit-identical to the serial
+  // call at any thread count. Only go parallel when there is enough
+  // arithmetic to amortize the dispatch; tiny products (the vast majority
+  // of calls in tests) take the plain path.
   constexpr std::size_t kParallelFlopThreshold = 64 * 1024;
   const std::size_t threads = core::num_threads();
   if (threads > 1 && n > 1 && n * k * m >= kParallelFlopThreshold) {
-    const std::size_t grain = std::max<std::size_t>(1, n / (4 * threads));
-    core::parallel_for(0, n, grain, compute_row);
+    const std::size_t block =
+        std::clamp<std::size_t>(n / (4 * threads), 4, 64);
+    const std::size_t tasks = (n + block - 1) / block;
+    core::parallel_for(0, tasks, 1, [&](std::size_t t) {
+      const std::size_t begin = t * block;
+      kernels::gemm_rows(a.data(), b.data(), out.data(), k, m, begin,
+                         std::min(n, begin + block));
+    });
   } else {
-    for (std::size_t i = 0; i < n; ++i) compute_row(i);
+    kernels::gemm_rows(a.data(), b.data(), out.data(), k, m, 0, n);
   }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  VN2_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix out(a.rows(), b.cols(), 0.0);
+  matmul_into(a, b, out);
   return out;
 }
 
 Vector matvec(const Matrix& a, const Vector& x) {
-  VN2_REQUIRE(a.cols() == x.size(), "matvec: dimension mismatch");
-  require(a.cols() == x.size(), "matvec: dimension mismatch");
+  VN2_CHECK(a.cols() == x.size(), "matvec: dimension mismatch");
   Vector out(a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.data() + i * a.cols();
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x.data()[j];
-    out[i] = acc;
-  }
+  kernels::gemv(a.data(), x.data(), out.data(), a.rows(), a.cols());
   return out;
 }
 
 Vector vecmat(const Vector& x, const Matrix& a) {
-  VN2_REQUIRE(a.rows() == x.size(), "vecmat: dimension mismatch");
-  require(a.rows() == x.size(), "vecmat: dimension mismatch");
+  VN2_CHECK(a.rows() == x.size(), "vecmat: dimension mismatch");
   Vector out(a.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double xi = x.data()[i];
-    if (xi == 0.0) continue;
-    const double* arow = a.data() + i * a.cols();
-    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += xi * arow[j];
-  }
+  // No zero-skip on x: 0·NaN must stay NaN (IEEE), and runtime must not
+  // depend on the data.
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    kernels::axpy(x.data()[i], a.data() + i * a.cols(), out.data(), a.cols());
   return out;
 }
 
 Matrix transpose(const Matrix& a) {
   Matrix out(a.cols(), a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  transpose_into(a, out);
   return out;
+}
+
+void transpose_into(const Matrix& a, Matrix& out) {
+  VN2_CHECK(&out != &a, "transpose_into: output must not alias the input");
+  VN2_CHECK(out.rows() == a.cols() && out.cols() == a.rows(),
+            "transpose_into: output shape mismatch");
+  const std::size_t rows = a.rows(), cols = a.cols();
+  const double* ad = a.data();
+  double* od = out.data();
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) od[j * rows + i] = ad[i * cols + j];
 }
 
 double frobenius_norm(const Matrix& a) noexcept {

@@ -127,13 +127,23 @@ Matrix operator*(Matrix m, double s);
 Matrix operator*(double s, Matrix m);
 
 /// Matrix product A(n×k) · B(k×m) → n×m. Throws on shape mismatch.
+/// Dispatches to the selected kernel backend (linalg/kernels.hpp) and runs
+/// row-parallel above a flop threshold; results are bit-identical at every
+/// thread count.
 Matrix matmul(const Matrix& a, const Matrix& b);
+/// matmul into a preallocated out (must already be a.rows()×b.cols() and
+/// must not alias either input). The allocation-free form the NMF
+/// workspace loop uses.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
 /// A(n×k) · x(k) → n.
 Vector matvec(const Matrix& a, const Vector& x);
 /// xᵀ(n) · A(n×k) → k.
 Vector vecmat(const Vector& x, const Matrix& a);
 /// Transpose.
 Matrix transpose(const Matrix& a);
+/// Transpose into a preallocated out (must already be a.cols()×a.rows()
+/// and must not alias a).
+void transpose_into(const Matrix& a, Matrix& out);
 
 /// Frobenius norm ‖A‖_F.
 double frobenius_norm(const Matrix& a) noexcept;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/contracts.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/solve.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -14,33 +15,55 @@ namespace vn2::linalg {
 
 namespace {
 
+/// Scratch reused across the active-set iterations of one solve: the
+/// passive columns packed contiguously, the Gram matrix and its rhs, and
+/// the residual/gradient buffers of the outer loop. Everything here used
+/// to be allocated per iteration.
+struct SolveWorkspace {
+  std::vector<double> packed;  ///< rows × |passive|, row-major gather of A.
+  Matrix gram;                 ///< |passive| × |passive|.
+  Vector rhs;
+  Vector ax;        ///< A·x (residual evaluation).
+  Vector gradient;  ///< w = Aᵀ(b − A·x).
+};
+
 /// Solves the unconstrained least-squares problem restricted to the passive
 /// set via normal equations (AᵀA)z = Aᵀb with a small ridge for stability.
+/// The Gram matrix comes from the shared SYRK kernel on a contiguous
+/// gather of the passive columns instead of the old O(k²·m) column-strided
+/// triple loop.
 Vector solve_passive(const Matrix& a, const Vector& b,
-                     const std::vector<std::size_t>& passive) {
+                     const std::vector<std::size_t>& passive,
+                     SolveWorkspace& ws) {
   const std::size_t k = passive.size();
-  Matrix gram(k, k);
-  Vector rhs(k);
   const std::size_t m = a.rows();
-  for (std::size_t i = 0; i < k; ++i) {
-    for (std::size_t j = i; j < k; ++j) {
-      double acc = 0.0;
-      for (std::size_t r = 0; r < m; ++r)
-        acc += a(r, passive[i]) * a(r, passive[j]);
-      gram(i, j) = acc;
-      gram(j, i) = acc;
-    }
-    double acc = 0.0;
-    for (std::size_t r = 0; r < m; ++r) acc += a(r, passive[i]) * b[r];
-    rhs[i] = acc;
+  const std::size_t n = a.cols();
+  ws.packed.assign(m * k, 0.0);
+  if (ws.gram.rows() != k || ws.gram.cols() != k) ws.gram = Matrix(k, k);
+  if (ws.rhs.size() != k) ws.rhs = Vector(k);
+  std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
+
+  // Gather the passive columns once so the SYRK kernel streams contiguous
+  // rows; rhs = packedᵀ·b accumulates in the same ascending-row order as
+  // the old per-column dot loops.
+  const double* ad = a.data();
+  double* pd = ws.packed.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* arow = ad + r * n;
+    double* prow = pd + r * k;
+    for (std::size_t i = 0; i < k; ++i) prow[i] = arow[passive[i]];
+    kernels::axpy(b[r], prow, ws.rhs.data(), k);
   }
+  kernels::syrk_upper(pd, m, k, ws.gram.data());
+
   // Ridge scaled to the diagonal keeps Cholesky alive when columns are
   // nearly collinear (common for NMF bases learnt from correlated metrics).
   double diag_max = 0.0;
-  for (std::size_t i = 0; i < k; ++i) diag_max = std::max(diag_max, gram(i, i));
+  for (std::size_t i = 0; i < k; ++i)
+    diag_max = std::max(diag_max, ws.gram(i, i));
   const double ridge = std::max(1e-12 * diag_max, 1e-300);
-  for (std::size_t i = 0; i < k; ++i) gram(i, i) += ridge;
-  return cholesky_solve(gram, rhs);
+  for (std::size_t i = 0; i < k; ++i) ws.gram(i, i) += ridge;
+  return cholesky_solve(ws.gram, ws.rhs);
 }
 
 double residual_norm_of(const Matrix& a, const Vector& x, const Vector& b) {
@@ -67,10 +90,9 @@ void assert_feasible([[maybe_unused]] const Matrix& a,
 }  // namespace
 
 NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
-  VN2_REQUIRE(a.rows() == b.size(), "nnls: A rows must match b size");
-  if (a.rows() != b.size())
-    throw std::invalid_argument("nnls: A rows must match b size");
+  VN2_CHECK(a.rows() == b.size(), "nnls: A rows must match b size");
   const std::size_t n = a.cols();
+  const std::size_t m = a.rows();
   const std::size_t max_iter =
       options.max_iterations ? options.max_iterations : 3 * std::max<std::size_t>(n, 1);
 
@@ -78,18 +100,20 @@ NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
   VN2_COUNT("nnls.solves");
   std::vector<bool> in_passive(n, false);
   std::vector<std::size_t> passive;
+  SolveWorkspace ws;
+  ws.ax = Vector(m);
+  ws.gradient = Vector(n);
 
   std::size_t iter = 0;
   for (; iter < max_iter; ++iter) {
-    // w = Aᵀ(b − A·x)
-    Vector res = b;
-    res -= matvec(a, x);
-    Vector w(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      double acc = 0.0;
-      for (std::size_t r = 0; r < a.rows(); ++r) acc += a(r, j) * res[r];
-      w[j] = acc;
-    }
+    // w = Aᵀ(b − A·x), built row-wise: row r contributes (b[r] − (A·x)[r])
+    // times A(r,·) via axpy, so each w[j] accumulates in the same
+    // ascending-r order as a per-column dot — but streaming A once.
+    kernels::gemv(a.data(), x.data(), ws.ax.data(), m, n);
+    Vector& w = ws.gradient;
+    std::fill(w.begin(), w.end(), 0.0);
+    for (std::size_t r = 0; r < m; ++r)
+      kernels::axpy(b[r] - ws.ax[r], a.data() + r * n, w.data(), n);
 
     // Select the most-violating active coordinate.
     double best = options.tolerance;
@@ -113,7 +137,7 @@ NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
 
     // Inner loop: solve on the passive set; walk back any negative entries.
     while (true) {
-      Vector z = solve_passive(a, b, passive);
+      Vector z = solve_passive(a, b, passive, ws);
       bool all_positive = true;
       for (std::size_t i = 0; i < passive.size(); ++i)
         if (z[i] <= options.tolerance) all_positive = false;
@@ -157,9 +181,7 @@ NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
 
 NnlsResult nnls_projected_gradient(const Matrix& a, const Vector& b,
                                    const ProjectedGradientOptions& options) {
-  VN2_REQUIRE(a.rows() == b.size(), "nnls_projected_gradient: size mismatch");
-  if (a.rows() != b.size())
-    throw std::invalid_argument("nnls_projected_gradient: size mismatch");
+  VN2_CHECK(a.rows() == b.size(), "nnls_projected_gradient: size mismatch");
   const std::size_t n = a.cols();
   Vector x(n, 0.0);
 

@@ -62,10 +62,10 @@ PcaResult pca(const Matrix& data, std::size_t k, const PcaOptions& options) {
     }
     result.explained[c] = n > 1 ? var / static_cast<double>(n - 1) : var;
 
-    // Deflate: X ← X − t·pᵀ.
+    // Deflate: X ← X − t·pᵀ. No skip on zero scores: 0·NaN must stay NaN
+    // (IEEE), and the runtime must not depend on the data.
     for (std::size_t i = 0; i < n; ++i) {
       const double ti = t[i];
-      if (ti == 0.0) continue;
       for (std::size_t j = 0; j < m; ++j) x(i, j) -= ti * p[j];
     }
   }

@@ -8,9 +8,7 @@
 namespace vn2::linalg {
 
 Matrix cholesky_factor(const Matrix& a, double min_pivot) {
-  VN2_REQUIRE(a.rows() == a.cols(), "cholesky_factor: matrix must be square");
-  if (a.rows() != a.cols())
-    throw std::invalid_argument("cholesky_factor: matrix must be square");
+  VN2_CHECK(a.rows() == a.cols(), "cholesky_factor: matrix must be square");
   const std::size_t n = a.rows();
   Matrix l(n, n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -32,9 +30,7 @@ Matrix cholesky_factor(const Matrix& a, double min_pivot) {
 }
 
 Vector cholesky_solve(const Matrix& a, const Vector& b) {
-  VN2_REQUIRE(a.rows() == b.size(), "cholesky_solve: size mismatch");
-  if (a.rows() != b.size())
-    throw std::invalid_argument("cholesky_solve: size mismatch");
+  VN2_CHECK(a.rows() == b.size(), "cholesky_solve: size mismatch");
   const Matrix l = cholesky_factor(a);
   const std::size_t n = a.rows();
   // Forward substitution: L·y = b.

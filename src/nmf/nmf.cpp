@@ -20,11 +20,25 @@ namespace {
 // of producing NaN.
 constexpr double kDenominatorFloor = 1e-12;
 
+/// Reallocates only when the wanted shape differs — the workspace pattern:
+/// warm buffers are reused allocation-free across iterations.
+void ensure_shape(Matrix& m, std::size_t rows, std::size_t cols) {
+  if (m.rows() != rows || m.cols() != cols) m = Matrix(rows, cols);
+}
+
 }  // namespace
 
 double approximation_accuracy(const Matrix& e, const Matrix& w,
                               const Matrix& psi) {
-  return linalg::frobenius_distance(e, linalg::matmul(w, psi));
+  Workspace workspace;
+  return approximation_accuracy(e, w, psi, workspace);
+}
+
+double approximation_accuracy(const Matrix& e, const Matrix& w,
+                              const Matrix& psi, Workspace& workspace) {
+  ensure_shape(workspace.w_psi, e.rows(), e.cols());
+  linalg::matmul_into(w, psi, workspace.w_psi);
+  return linalg::frobenius_distance(e, workspace.w_psi);
 }
 
 double NmfResult::approximation_accuracy(const Matrix& e) const {
@@ -32,33 +46,45 @@ double NmfResult::approximation_accuracy(const Matrix& e) const {
 }
 
 void multiplicative_update(const Matrix& e, Matrix& w, Matrix& psi) {
-  VN2_REQUIRE(w.rows() == e.rows() && psi.cols() == e.cols() &&
-                  w.cols() == psi.rows(),
-              "multiplicative_update: shape mismatch");
-  if (w.rows() != e.rows() || psi.cols() != e.cols() ||
-      w.cols() != psi.rows())
-    throw std::invalid_argument("multiplicative_update: shape mismatch");
+  Workspace workspace;
+  multiplicative_update(e, w, psi, workspace);
+}
+
+void multiplicative_update(const Matrix& e, Matrix& w, Matrix& psi,
+                           Workspace& ws) {
+  VN2_CHECK(w.rows() == e.rows() && psi.cols() == e.cols() &&
+                w.cols() == psi.rows(),
+            "multiplicative_update: shape mismatch");
+  const std::size_t n = e.rows(), m = e.cols(), r = w.cols();
 
   // Ψ ← Ψ ∘ (WᵀE) ⊘ (WᵀWΨ)
   {
-    const Matrix wt = linalg::transpose(w);
-    const Matrix numerator = linalg::matmul(wt, e);
-    const Matrix denominator =
-        linalg::matmul(linalg::matmul(wt, w), psi);
+    ensure_shape(ws.wt, r, n);
+    ensure_shape(ws.wt_e, r, m);
+    ensure_shape(ws.wtw, r, r);
+    ensure_shape(ws.wtw_psi, r, m);
+    linalg::transpose_into(w, ws.wt);
+    linalg::matmul_into(ws.wt, e, ws.wt_e);
+    linalg::matmul_into(ws.wt, w, ws.wtw);
+    linalg::matmul_into(ws.wtw, psi, ws.wtw_psi);
     for (std::size_t i = 0; i < psi.size(); ++i) {
-      const double denom = std::max(denominator.data()[i], kDenominatorFloor);
-      psi.data()[i] *= numerator.data()[i] / denom;
+      const double denom = std::max(ws.wtw_psi.data()[i], kDenominatorFloor);
+      psi.data()[i] *= ws.wt_e.data()[i] / denom;
     }
   }
   // W ← W ∘ (EΨᵀ) ⊘ (WΨΨᵀ)
   {
-    const Matrix psit = linalg::transpose(psi);
-    const Matrix numerator = linalg::matmul(e, psit);
-    const Matrix denominator =
-        linalg::matmul(w, linalg::matmul(psi, psit));
+    ensure_shape(ws.psit, m, r);
+    ensure_shape(ws.e_psit, n, r);
+    ensure_shape(ws.psi_psit, r, r);
+    ensure_shape(ws.w_denom, n, r);
+    linalg::transpose_into(psi, ws.psit);
+    linalg::matmul_into(e, ws.psit, ws.e_psit);
+    linalg::matmul_into(psi, ws.psit, ws.psi_psit);
+    linalg::matmul_into(w, ws.psi_psit, ws.w_denom);
     for (std::size_t i = 0; i < w.size(); ++i) {
-      const double denom = std::max(denominator.data()[i], kDenominatorFloor);
-      w.data()[i] *= numerator.data()[i] / denom;
+      const double denom = std::max(ws.w_denom.data()[i], kDenominatorFloor);
+      w.data()[i] *= ws.e_psit.data()[i] / denom;
     }
   }
   // The multiplicative update only scales entries by non-negative ratios,
@@ -75,10 +101,8 @@ NmfResult factorize(const Matrix& e, std::size_t rank,
   if (e.empty()) throw std::invalid_argument("nmf: empty input matrix");
   if (!linalg::is_nonnegative(e))
     throw std::invalid_argument("nmf: input matrix must be non-negative");
-  VN2_REQUIRE(rank >= 1 && rank <= std::min(e.rows(), e.cols()),
-              "nmf: rank must be in [1, min(n, m)]");
-  if (rank == 0 || rank > std::min(e.rows(), e.cols()))
-    throw std::invalid_argument("nmf: rank must be in [1, min(n, m)]");
+  VN2_CHECK(rank >= 1 && rank <= std::min(e.rows(), e.cols()),
+            "nmf: rank must be in [1, min(n, m)]");
 
   VN2_SPAN("nmf.factorize");
   VN2_COUNT("nmf.factorizations");
@@ -91,13 +115,17 @@ NmfResult factorize(const Matrix& e, std::size_t rank,
                                              options.seed ^ 0x9e3779b97f4a7c15ULL,
                                              0.05, 1.0);
 
-  double previous = approximation_accuracy(e, result.w, result.psi);
+  // One workspace serves every iteration: after the first sweep the hot
+  // loop runs allocation-free.
+  Workspace workspace;
+  double previous = approximation_accuracy(e, result.w, result.psi, workspace);
   if (options.record_objective) result.objective_history.push_back(previous);
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    multiplicative_update(e, result.w, result.psi);
+    multiplicative_update(e, result.w, result.psi, workspace);
     result.iterations = it + 1;
-    const double current = approximation_accuracy(e, result.w, result.psi);
+    const double current =
+        approximation_accuracy(e, result.w, result.psi, workspace);
     if (options.record_objective) result.objective_history.push_back(current);
     const double scale = std::max(previous, 1e-30);
     if ((previous - current) / scale < options.relative_tolerance) {

@@ -39,6 +39,24 @@ struct NmfResult {
   [[nodiscard]] double approximation_accuracy(const linalg::Matrix& e) const;
 };
 
+/// Preallocated scratch for the multiplicative-update sweep and the
+/// objective evaluation. `factorize` keeps one instance across all
+/// iterations so the hot loop performs no heap allocation; buffers are
+/// (re)sized only when the problem shape changes, so a default-constructed
+/// Workspace is always valid. Not thread-safe: one Workspace per
+/// concurrent factorization.
+struct Workspace {
+  linalg::Matrix wt;        ///< Wᵀ (r×n).
+  linalg::Matrix wt_e;      ///< WᵀE (r×m), Ψ-update numerator.
+  linalg::Matrix wtw;       ///< WᵀW (r×r).
+  linalg::Matrix wtw_psi;   ///< WᵀW·Ψ (r×m), Ψ-update denominator.
+  linalg::Matrix psit;      ///< Ψᵀ (m×r).
+  linalg::Matrix e_psit;    ///< EΨᵀ (n×r), W-update numerator.
+  linalg::Matrix psi_psit;  ///< ΨΨᵀ (r×r).
+  linalg::Matrix w_denom;   ///< W·ΨΨᵀ (n×r), W-update denominator.
+  linalg::Matrix w_psi;     ///< WΨ (n×m), reconstruction for the objective.
+};
+
 /// Factorizes non-negative E (n×m) as W(n×r)·Ψ(r×m).
 /// Throws std::invalid_argument if E has negative entries, is empty, or if
 /// r == 0 or r > min(n, m).
@@ -50,8 +68,17 @@ NmfResult factorize(const linalg::Matrix& e, std::size_t rank,
 void multiplicative_update(const linalg::Matrix& e, linalg::Matrix& w,
                            linalg::Matrix& psi);
 
+/// Workspace form of the update sweep: identical results, zero allocation
+/// once the workspace is warm. This is what `factorize` runs.
+void multiplicative_update(const linalg::Matrix& e, linalg::Matrix& w,
+                           linalg::Matrix& psi, Workspace& workspace);
+
 /// Approximation accuracy α = ‖E − WΨ‖_F for arbitrary factors.
 double approximation_accuracy(const linalg::Matrix& e, const linalg::Matrix& w,
                               const linalg::Matrix& psi);
+
+/// Workspace form: reuses the reconstruction buffer.
+double approximation_accuracy(const linalg::Matrix& e, const linalg::Matrix& w,
+                              const linalg::Matrix& psi, Workspace& workspace);
 
 }  // namespace vn2::nmf

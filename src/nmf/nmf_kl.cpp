@@ -41,6 +41,10 @@ void kl_multiplicative_update(const Matrix& e, Matrix& w, Matrix& psi) {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < m; ++j) {
         const double ratio = e(i, j) / std::max(wp(i, j), kFloor);
+        // ratio is 0 only when e(i,j) is exactly 0: factorize_kl rejects
+        // negative input and wp is floored at kFloor, so the skip is exact
+        // (adds 0) and cannot mask a NaN or Inf.
+        // vn2-lint: allow(zero-skip-kernel)
         if (ratio == 0.0) continue;
         for (std::size_t a = 0; a < r; ++a)
           numerator(a, j) += w(i, a) * ratio;
@@ -63,6 +67,8 @@ void kl_multiplicative_update(const Matrix& e, Matrix& w, Matrix& psi) {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < m; ++j) {
         const double ratio = e(i, j) / std::max(wp(i, j), kFloor);
+        // Exact skip, same argument as the Ψ update above.
+        // vn2-lint: allow(zero-skip-kernel)
         if (ratio == 0.0) continue;
         for (std::size_t a = 0; a < r; ++a)
           numerator(i, a) += psi(a, j) * ratio;

@@ -52,9 +52,7 @@ std::vector<RankPoint> rank_sweep(const linalg::Matrix& e,
 
 RankChoice choose_rank(const std::vector<RankPoint>& sweep,
                        double knee_fraction, double divergence_fraction) {
-  VN2_REQUIRE(!sweep.empty(), "choose_rank: empty sweep");
-  if (sweep.empty())
-    throw std::invalid_argument("choose_rank: empty sweep");
+  VN2_CHECK(!sweep.empty(), "choose_rank: empty sweep");
 
   std::vector<RankPoint> sorted = sweep;
   std::sort(sorted.begin(), sorted.end(),

@@ -34,6 +34,16 @@ grep -q '"traceEvents"' "$WORK/prof_trace.json"
 if grep -q '"telemetry_compiled": true' "$WORK/prof.json"; then
   grep -q '"nnls.solves"' "$WORK/prof.json"
 fi
+# The kernel-backend selector is a global flag: forcing the scalar
+# reference backend must work on any build, and an unknown backend name
+# is a usage error.
+"$VN2" stats --trace "$WORK/trace.csv" --linalg-backend reference \
+    | grep -q "nodes reporting"
+if "$VN2" stats --trace "$WORK/trace.csv" --linalg-backend turbo \
+    2>/dev/null; then
+  echo "expected usage error for unknown linalg backend" >&2
+  exit 1
+fi
 # Error paths exit non-zero.
 if "$VN2" train --trace /nonexistent.csv --out "$WORK/x" 2>/dev/null; then
   echo "expected failure on missing trace" >&2

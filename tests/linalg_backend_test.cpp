@@ -1,0 +1,262 @@
+// Parity and determinism tests for the pluggable kernel backends
+// (linalg/kernels.hpp). The reference backend is the semantics oracle: the
+// blocked backend must agree on every shape the pipeline produces —
+// including empty, single-row/column, and sizes that don't divide the tile
+// geometry — and both must be bit-identical across thread counts. dot and
+// axpy share one implementation, so they are held to exact equality;
+// GEMM/GEMV/SYRK are held to ≤1e-13 relative agreement so the contract
+// stays robust if a compiler contracts FMAs differently per loop shape.
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/random.hpp"
+
+namespace vn2::linalg {
+namespace {
+
+constexpr double kRelTol = 1e-13;
+
+/// Restores the process-global backend and thread budget on scope exit so
+/// test order cannot leak state.
+class GlobalStateGuard {
+ public:
+  GlobalStateGuard()
+      : backend_(backend()), threads_(core::num_threads()) {}
+  ~GlobalStateGuard() {
+    set_backend(backend_);
+    core::set_num_threads(threads_);
+  }
+
+ private:
+  Backend backend_;
+  std::size_t threads_;
+};
+
+void expect_close(const Matrix& a, const Matrix& b, double rel = kRelTol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale =
+        std::max({std::abs(a.data()[i]), std::abs(b.data()[i]), 1.0});
+    EXPECT_NEAR(a.data()[i], b.data()[i], rel * scale) << "flat index " << i;
+  }
+}
+
+void expect_close(const Vector& a, const Vector& b, double rel = kRelTol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::abs(a[i]), std::abs(b[i]), 1.0});
+    EXPECT_NEAR(a[i], b[i], rel * scale) << "index " << i;
+  }
+}
+
+struct GemmShape {
+  std::size_t n, k, m;
+};
+
+// Empty, degenerate, tile-exact, tile-straddling, and the pipeline's
+// 86-column encoded width.
+const std::vector<GemmShape>& gemm_shapes() {
+  static const std::vector<GemmShape> shapes = {
+      {0, 0, 0}, {0, 3, 4},  {1, 7, 3},   {5, 1, 3},   {3, 7, 1},
+      {4, 8, 16}, {8, 16, 32}, {5, 17, 7}, {6, 9, 13},  {13, 5, 19},
+      {30, 86, 25}, {25, 30, 86},
+  };
+  return shapes;
+}
+
+Matrix signed_random(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  return random_uniform_matrix(rows, cols, seed, -1.5, 2.0);
+}
+
+TEST(LinalgBackend, ParseAndNames) {
+  EXPECT_EQ(parse_backend("reference"), Backend::kReference);
+  EXPECT_EQ(parse_backend("blocked"), Backend::kBlocked);
+  ASSERT_TRUE(parse_backend("auto").has_value());
+  EXPECT_FALSE(parse_backend("fast").has_value());
+  EXPECT_FALSE(parse_backend("").has_value());
+  EXPECT_STREQ(backend_name(Backend::kReference), "reference");
+  EXPECT_STREQ(backend_name(Backend::kBlocked), "blocked");
+}
+
+TEST(LinalgBackend, SetBackendRespectsCompileGate) {
+  GlobalStateGuard guard;
+  set_backend(Backend::kReference);
+  EXPECT_EQ(backend(), Backend::kReference);
+  set_backend(Backend::kBlocked);
+  if (blocked_kernels_compiled()) {
+    EXPECT_EQ(backend(), Backend::kBlocked);
+    EXPECT_EQ(parse_backend("auto"), Backend::kBlocked);
+  } else {
+    // Reference-only build: requesting blocked silently falls back.
+    EXPECT_EQ(backend(), Backend::kReference);
+    EXPECT_EQ(parse_backend("auto"), Backend::kReference);
+  }
+}
+
+TEST(LinalgBackend, GemmParityAcrossShapes) {
+  if (!blocked_kernels_compiled())
+    GTEST_SKIP() << "blocked kernels compiled out";
+  GlobalStateGuard guard;
+  core::set_num_threads(1);
+  std::uint64_t seed = 0xb10c5eed01ULL;
+  for (const GemmShape& s : gemm_shapes()) {
+    const Matrix a = signed_random(s.n, s.k, seed++);
+    const Matrix b = signed_random(s.k, s.m, seed++);
+    set_backend(Backend::kReference);
+    const Matrix expected = matmul(a, b);
+    set_backend(Backend::kBlocked);
+    const Matrix actual = matmul(a, b);
+    SCOPED_TRACE(::testing::Message()
+                 << "shape " << s.n << "x" << s.k << "x" << s.m);
+    expect_close(expected, actual);
+  }
+}
+
+TEST(LinalgBackend, GemvParityAcrossShapes) {
+  if (!blocked_kernels_compiled())
+    GTEST_SKIP() << "blocked kernels compiled out";
+  GlobalStateGuard guard;
+  std::uint64_t seed = 0xb10c5eed02ULL;
+  for (const GemmShape& s : gemm_shapes()) {
+    const Matrix a = signed_random(s.n, s.k, seed++);
+    const Vector x = random_uniform_vector(s.k, seed++, -2.0, 2.0);
+    set_backend(Backend::kReference);
+    const Vector expected = matvec(a, x);
+    set_backend(Backend::kBlocked);
+    const Vector actual = matvec(a, x);
+    SCOPED_TRACE(::testing::Message() << "shape " << s.n << "x" << s.k);
+    expect_close(expected, actual);
+  }
+}
+
+TEST(LinalgBackend, SyrkParityAcrossShapes) {
+  if (!blocked_kernels_compiled())
+    GTEST_SKIP() << "blocked kernels compiled out";
+  GlobalStateGuard guard;
+  std::uint64_t seed = 0xb10c5eed03ULL;
+  for (const GemmShape& s : gemm_shapes()) {
+    const std::size_t rows = s.n, k = s.m;
+    const Matrix a = signed_random(rows, k, seed++);
+    Matrix expected(k, k), actual(k, k);
+    set_backend(Backend::kReference);
+    kernels::syrk_upper(a.data(), rows, k, expected.data());
+    set_backend(Backend::kBlocked);
+    kernels::syrk_upper(a.data(), rows, k, actual.data());
+    SCOPED_TRACE(::testing::Message() << "shape " << rows << "x" << k);
+    expect_close(expected, actual);
+    // The mirror must make G exactly symmetric in both backends.
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = 0; j < i; ++j)
+        EXPECT_EQ(actual(i, j), actual(j, i));
+  }
+}
+
+TEST(LinalgBackend, DotAndAxpyAreExactAcrossBackends) {
+  GlobalStateGuard guard;
+  const std::size_t n = 259;  // deliberately not a multiple of any tile
+  const Vector a = random_uniform_vector(n, 77, -3.0, 3.0);
+  const Vector b = random_uniform_vector(n, 78, -3.0, 3.0);
+  set_backend(Backend::kReference);
+  const double dot_ref = kernels::dot(a.data(), b.data(), n);
+  Vector y_ref(n, 0.5);
+  kernels::axpy(1.25, a.data(), y_ref.data(), n);
+  set_backend(Backend::kBlocked);
+  const double dot_blk = kernels::dot(a.data(), b.data(), n);
+  Vector y_blk(n, 0.5);
+  kernels::axpy(1.25, a.data(), y_blk.data(), n);
+  EXPECT_EQ(dot_ref, dot_blk);  // shared implementation: bit-exact
+  EXPECT_EQ(y_ref, y_blk);
+}
+
+// Determinism contract: re-partitioning rows across threads must not
+// change a single bit, in either backend.
+TEST(LinalgBackend, MatmulBitIdenticalAcrossThreadCounts) {
+  GlobalStateGuard guard;
+  const Matrix a = signed_random(97, 43, 1001);
+  const Matrix b = signed_random(43, 86, 1002);
+  for (Backend be : {Backend::kReference, Backend::kBlocked}) {
+    if (be == Backend::kBlocked && !blocked_kernels_compiled()) continue;
+    set_backend(be);
+    core::set_num_threads(1);
+    const Matrix serial = matmul(a, b);
+    for (std::size_t threads : {2ul, 8ul}) {
+      core::set_num_threads(threads);
+      const Matrix parallel = matmul(a, b);
+      EXPECT_EQ(serial, parallel)
+          << backend_name(be) << " at " << threads << " threads";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NaN/Inf propagation. The old kernels skipped multiplies when an operand
+// was exactly 0.0, silently turning 0·NaN into 0 (IEEE says NaN) and hiding
+// corrupt inputs. Every kernel must now propagate non-finite values.
+
+TEST(LinalgBackend, MatmulPropagatesNanThroughZeroOperands) {
+  GlobalStateGuard guard;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // a's second column is 0 except for a NaN; the old `if (aip == 0.0)
+  // continue;` skip never fired on NaN, but the symmetric B-side skip in
+  // other codebases does — pin the IEEE behaviour for both operands.
+  Matrix a = {{0.0, nan}, {1.0, 0.0}};
+  Matrix b = {{1.0, 0.0}, {0.0, 1.0}};
+  for (Backend be : {Backend::kReference, Backend::kBlocked}) {
+    if (be == Backend::kBlocked && !blocked_kernels_compiled()) continue;
+    set_backend(be);
+    const Matrix c = matmul(a, b);
+    // Row 0 mixes NaN into every column: 0·1 + NaN·0 = NaN.
+    EXPECT_TRUE(std::isnan(c(0, 0))) << backend_name(be);
+    EXPECT_TRUE(std::isnan(c(0, 1))) << backend_name(be);
+    // Row 1 is NaN-free and stays finite.
+    EXPECT_EQ(c(1, 0), 1.0);
+    EXPECT_EQ(c(1, 1), 0.0);
+  }
+}
+
+TEST(LinalgBackend, MatvecAndVecmatPropagateNonFinite) {
+  GlobalStateGuard guard;
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Matrix a = {{0.0, 1.0}, {2.0, 0.0}};
+  const Vector x{nan, 3.0};
+  const Vector w{inf, 0.0};
+  for (Backend be : {Backend::kReference, Backend::kBlocked}) {
+    if (be == Backend::kBlocked && !blocked_kernels_compiled()) continue;
+    set_backend(be);
+    const Vector y = matvec(a, x);  // y[0] = 0·NaN + 1·3 = NaN
+    EXPECT_TRUE(std::isnan(y[0])) << backend_name(be);
+    EXPECT_TRUE(std::isnan(y[1])) << backend_name(be);
+    const Vector z = vecmat(w, a);  // z[1] = Inf·1 + 0·0 = Inf
+    EXPECT_TRUE(std::isnan(z[0])) << backend_name(be);  // Inf·0 = NaN
+    EXPECT_EQ(z[1], inf) << backend_name(be);
+  }
+}
+
+TEST(LinalgBackend, GemmRowRangeMatchesFullProduct) {
+  GlobalStateGuard guard;
+  const std::size_t n = 11, k = 7, m = 18;
+  const Matrix a = signed_random(n, k, 2001);
+  const Matrix b = signed_random(k, m, 2002);
+  for (Backend be : {Backend::kReference, Backend::kBlocked}) {
+    if (be == Backend::kBlocked && !blocked_kernels_compiled()) continue;
+    set_backend(be);
+    Matrix full(n, m), pieces(n, m);
+    kernels::gemm_rows(a.data(), b.data(), full.data(), k, m, 0, n);
+    // Uneven three-way split: partitioning must not change anything.
+    kernels::gemm_rows(a.data(), b.data(), pieces.data(), k, m, 0, 3);
+    kernels::gemm_rows(a.data(), b.data(), pieces.data(), k, m, 3, 10);
+    kernels::gemm_rows(a.data(), b.data(), pieces.data(), k, m, 10, n);
+    EXPECT_EQ(full, pieces) << backend_name(be);
+  }
+}
+
+}  // namespace
+}  // namespace vn2::linalg

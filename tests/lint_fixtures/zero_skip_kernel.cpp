@@ -1,0 +1,26 @@
+// Fixture for the zero-skip-kernel rule: data-dependent sparsity
+// shortcuts in numeric kernels. Linted, never compiled.
+void bad_gemm(const double* a, const double* b, double* c, int k, int m) {
+  for (int p = 0; p < k; ++p) {
+    const double aip = a[p];
+    if (aip == 0.0) continue;  // silently turns 0*NaN into 0
+    for (int j = 0; j < m; ++j) c[j] += aip * b[p * m + j];
+  }
+}
+
+void bad_integer_skip(const double* x, double* y, int n) {
+  for (int i = 0; i < n; ++i) {
+    if (x[i] == 0) continue;
+    y[i] += x[i];
+  }
+}
+
+int near_misses(const double* x, int n) {
+  int zeros = 0;
+  for (int i = 0; i < n; ++i) {
+    if (x[i] == 0.0) ++zeros;   // counting zeros is fine
+    if (x[i] == 0.0) break;     // early exit is a different (visible) choice
+    if (x[i] <= 0.0) continue;  // an inequality guard is not a sparsity skip
+  }
+  return zeros;
+}

@@ -143,6 +143,22 @@ TEST(Lint, UnseededMt19937AllowedInRandomHome) {
                         "unseeded-mt19937"));
 }
 
+TEST(Lint, ZeroSkipKernelFires) {
+  const auto findings =
+      lint_content("src/linalg/bad.cpp", fixture("zero_skip_kernel.cpp"));
+  std::size_t skips = 0;
+  for (const Finding& f : findings)
+    if (f.rule == "zero-skip-kernel") ++skips;
+  // The `== 0.0) continue` and `== 0) continue` skips — but NOT the
+  // zero-count, the break, or the inequality guard.
+  EXPECT_EQ(skips, 2u);
+}
+
+TEST(Lint, ZeroSkipAllowedOutsideNumericKernels) {
+  EXPECT_FALSE(fires_on("zero_skip_kernel.cpp", "src/wsn/radio.cpp",
+                        "zero-skip-kernel"));
+}
+
 TEST(Lint, ParallelInventoryFiresWhenArmed) {
   LintOptions options;
   options.threading_inventory = std::set<std::string>{"src/core/listed.cpp"};
@@ -226,8 +242,8 @@ TEST(Lint, RuleCatalogueIsStable) {
   const std::set<std::string> expected = {
       "nondeterminism-random", "nondeterminism-clock",   "float-in-numeric",
       "io-in-library",         "using-namespace-header", "naked-new",
-      "unseeded-mt19937",      "include-guard",          "parallel-capture",
-      "parallel-inventory"};
+      "zero-skip-kernel",      "unseeded-mt19937",       "include-guard",
+      "parallel-capture",      "parallel-inventory"};
   EXPECT_EQ(std::set<std::string>(ids.begin(), ids.end()), expected);
 }
 

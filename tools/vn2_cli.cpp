@@ -24,6 +24,7 @@
 #include "core/parallel.hpp"
 #include "core/silence.hpp"
 #include "core/vn2.hpp"
+#include "linalg/kernels.hpp"
 #include "scenario/scenario.hpp"
 #include "telemetry/sink.hpp"
 #include "telemetry/telemetry.hpp"
@@ -92,6 +93,9 @@ int usage() {
       "global options:\n"
       "  --threads N   thread budget for analysis/simulation hot paths\n"
       "                (default: hardware concurrency; 1 = fully serial)\n"
+      "  --linalg-backend auto|reference|blocked\n"
+      "                dense-kernel implementation (default auto: blocked\n"
+      "                when compiled in; results are identical either way)\n"
       "  --telemetry FILE        write a telemetry snapshot (JSON) on exit\n"
       "  --telemetry-trace FILE  write spans as chrome://tracing JSON on "
       "exit\n");
@@ -484,6 +488,20 @@ int main(int argc, char** argv) {
     if (!args.get("threads").empty())
       vn2::core::set_num_threads(
           static_cast<std::size_t>(args.number("threads", 0)));
+    // Global kernel backend: which dense-kernel implementation the linalg
+    // hot paths dispatch to (results are backend-independent by contract).
+    if (const std::string backend = args.get("linalg-backend");
+        !backend.empty()) {
+      const auto parsed = vn2::linalg::parse_backend(backend);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "vn2: unknown --linalg-backend '%s' "
+                     "(expected auto, reference, or blocked)\n",
+                     backend.c_str());
+        return 2;
+      }
+      vn2::linalg::set_backend(*parsed);
+    }
     // Global telemetry outputs: written after any successful subcommand.
     auto dispatch = [&]() -> std::optional<int> {
       if (command == "simulate") return cmd_simulate(args);

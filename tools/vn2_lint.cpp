@@ -224,6 +224,16 @@ const std::vector<PatternRule>& pattern_rules() {
                  "ownership is explicit and exception-safe",
                  std::regex(R"(\b(new|delete)\b)"),
                  [](const std::string&) { return true; }});
+    // Sparsity shortcuts of the form `if (x == 0.0) continue;` silently
+    // turn 0·NaN into 0 (IEEE says NaN), hide Inf, and make the kernel's
+    // runtime depend on the data. Kernels must stream every entry; loops
+    // whose inputs are provably finite may suppress with a justification.
+    r.push_back({"zero-skip-kernel",
+                 "data-dependent zero-skip in a numeric kernel; 0*NaN must "
+                 "stay NaN and runtime must not depend on the data "
+                 "(suppress only where inputs are provably finite)",
+                 std::regex(R"(==\s*0(\.0*)?\s*\)\s*continue\b)"),
+                 [](const std::string& p) { return in_numeric_kernels(p); }});
     // Default-constructed engines seed from a fixed constant, which reads
     // like determinism but silently correlates every such stream. The
     // identifier must not end in '_': members are seeded in a constructor
