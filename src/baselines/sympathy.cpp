@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace vn2::baselines {
 
 using metrics::HazardEvent;
@@ -35,6 +37,8 @@ SympathyDiagnoser SympathyDiagnoser::fit(const linalg::Matrix& training_states,
   if (training_states.rows() == 0 ||
       training_states.cols() != metrics::kMetricCount)
     throw std::invalid_argument("SympathyDiagnoser::fit: need n x 43 states");
+  VN2_CHECK(quantile > 0.0 && quantile < 1.0,
+            "SympathyDiagnoser::fit: quantile must be in (0, 1)");
   SympathyThresholds t;
   t.voltage_drop =
       quantile_of(training_states, MetricId::kVoltage, 1.0 - quantile);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace vn2::core {
 
 using linalg::Matrix;
@@ -34,6 +36,8 @@ StateEncoder StateEncoder::fit(const Matrix& states, double clip_sigma) {
 }
 
 double StateEncoder::z_of(std::size_t m, double raw) const {
+  VN2_REQUIRE(m < metrics::kMetricCount,
+              "StateEncoder::z_of: metric index out of range");
   if (std_[m] <= 0.0) return 0.0;  // Constant metric: carries no signal.
   const double z = (raw - mean_[m]) / std_[m];
   return std::clamp(z, -clip_, clip_);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "core/inference.hpp"
 #include "linalg/solve.hpp"
 
@@ -83,10 +84,8 @@ PerformanceDataset build_performance_dataset(
     const wsn::SimulationResult& result,
     const std::vector<trace::StateVector>& states, const Vn2Model& model,
     wsn::Time window) {
-  if (!model.trained())
-    throw std::invalid_argument("build_performance_dataset: untrained model");
-  if (window <= 0.0)
-    throw std::invalid_argument("build_performance_dataset: bad window");
+  VN2_CHECK(model.trained(), "build_performance_dataset: untrained model");
+  VN2_CHECK(window > 0.0, "build_performance_dataset: bad window");
 
   const auto series = trace::prr_series(result, window);
   const Matrix w = correlation_strengths(model, trace::states_matrix(states));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace vn2::core {
 
 using linalg::Matrix;
@@ -26,12 +28,16 @@ StateScaler StateScaler::fit(const Matrix& states) {
 }
 
 double StateScaler::scale_one(std::size_t m, double v) const {
+  VN2_REQUIRE(m < metrics::kMetricCount,
+              "StateScaler::scale_one: metric index out of range");
   const double range = max_[m] - min_[m];
   if (range <= 0.0) return 0.5;  // Constant column: no variation signal.
   return std::clamp((v - min_[m]) / range, 0.0, 1.0);
 }
 
 double StateScaler::unscale_one(std::size_t m, double v) const {
+  VN2_REQUIRE(m < metrics::kMetricCount,
+              "StateScaler::unscale_one: metric index out of range");
   const double range = max_[m] - min_[m];
   if (range <= 0.0) return min_[m];
   return min_[m] + v * range;

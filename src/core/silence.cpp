@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "core/contracts.hpp"
+
 namespace vn2::core {
 
 std::vector<SilentNode> detect_silent_nodes(const trace::Trace& trace,
                                             wsn::Time now,
                                             const SilenceOptions& options) {
+  VN2_CHECK(options.factor > 0.0,
+            "detect_silent_nodes: silence factor must be positive");
   std::vector<SilentNode> silent;
   for (const trace::NodeSeries& series : trace.nodes) {
     if (series.snapshots.size() < options.min_snapshots) continue;

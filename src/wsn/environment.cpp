@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/contracts.hpp"
+
 namespace vn2::wsn {
 
 namespace {
@@ -46,6 +48,7 @@ double Environment::disturbance_sum(Disturbance::Kind kind, const Position& p,
 }
 
 double Environment::temperature_c(const Position& p, Time t) const {
+  VN2_REQUIRE(t >= 0.0, "temperature_c: simulation time must be nonnegative");
   const double day_phase =
       2.0 * std::numbers::pi *
       std::fmod(t + params_.start_of_day_s, kSecondsPerDay) / kSecondsPerDay;
@@ -59,6 +62,7 @@ double Environment::temperature_c(const Position& p, Time t) const {
 }
 
 double Environment::humidity_pct(const Position& p, Time t) const {
+  VN2_REQUIRE(t >= 0.0, "humidity_pct: simulation time must be nonnegative");
   const double day_phase =
       2.0 * std::numbers::pi *
       std::fmod(t + params_.start_of_day_s, kSecondsPerDay) / kSecondsPerDay;
@@ -71,6 +75,7 @@ double Environment::humidity_pct(const Position& p, Time t) const {
 }
 
 double Environment::light_lux(const Position& p, Time t) const {
+  VN2_REQUIRE(t >= 0.0, "light_lux: simulation time must be nonnegative");
   (void)p;
   const double seconds_into_day =
       std::fmod(t + params_.start_of_day_s, kSecondsPerDay);

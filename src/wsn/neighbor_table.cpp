@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/contracts.hpp"
+
 namespace vn2::wsn {
 
 double NeighborEntry::link_etx() const noexcept {
@@ -20,6 +22,7 @@ bool NeighborTable::on_beacon(NodeId from, double rssi_dbm,
                               std::uint32_t beacon_seq,
                               double advertised_path_etx, Time now,
                               NodeId current_parent) {
+  VN2_REQUIRE(std::isfinite(rssi_dbm), "on_beacon: rssi_dbm must be finite");
   if (NeighborEntry* entry = find(from)) {
     entry->rssi_dbm += kRssiAlpha * (rssi_dbm - entry->rssi_dbm);
     // Age a stale outbound estimate toward the beacon-fed inbound one, so a
@@ -125,6 +128,7 @@ std::size_t NeighborTable::occupancy() const noexcept {
 }
 
 std::size_t NeighborTable::expire(Time now, Time timeout) {
+  VN2_REQUIRE(timeout > 0.0, "expire: timeout must be positive");
   std::size_t evicted = 0;
   for (NeighborEntry& slot : slots_) {
     if (slot.occupied() && now - slot.last_heard > timeout) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contracts.hpp"
+
 namespace vn2::wsn {
 
 namespace {
@@ -71,6 +73,7 @@ double RadioModel::prr(NodeId from, const Position& from_pos, NodeId to,
 
 void RadioModel::degrade_link(NodeId a, NodeId b, double loss_db, Time start,
                               Time end) {
+  VN2_CHECK(start <= end, "degrade_link: degradation window must be ordered");
   degradations_[link_key(a, b)].push_back({loss_db, start, end});
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vn2::wsn {
@@ -100,6 +101,8 @@ double Simulator::uniform(double lo, double hi) {
 }
 
 double Simulator::link_prr(NodeId from, NodeId to, Time t) const {
+  VN2_REQUIRE(from < config_.positions.size() && to < config_.positions.size(),
+              "link_prr: node id out of range");
   return radio_.prr(from, config_.positions[from], to, config_.positions[to],
                     t);
 }
@@ -261,6 +264,7 @@ void Simulator::start() {
 }
 
 void Simulator::schedule_node_timers(NodeId id) {
+  VN2_REQUIRE(id < nodes_.size(), "schedule_node_timers: node id out of range");
   const std::uint32_t generation = generation_[id];
   // Jittered phase so nodes do not fire in lockstep.
   queue_.schedule_in(uniform(0.0, config_.beacon_period),
@@ -453,6 +457,7 @@ void Simulator::report_tick(NodeId id, std::uint32_t generation) {
 }
 
 void Simulator::try_send(NodeId id) {
+  VN2_REQUIRE(id < nodes_.size(), "try_send: node id out of range");
   Node& node = *nodes_[id];
   if (!node.alive() || node.sending || node.queue_empty()) return;
   if (!node.has_parent()) {
@@ -487,6 +492,8 @@ double Simulator::activity_of(Node& node) const {
 }
 
 void Simulator::bump_activity_around(NodeId sender) {
+  VN2_REQUIRE(sender < in_range_.size(),
+              "bump_activity_around: node id out of range");
   for (NodeId w : in_range_[sender]) {
     Node& node = *nodes_[w];
     if (!node.alive()) continue;
@@ -510,6 +517,8 @@ double Simulator::busy_probability(Node& node) const {
 
 void Simulator::attempt_transmission(NodeId id, std::uint32_t generation,
                                      std::size_t backoffs) {
+  VN2_REQUIRE(backoffs <= config_.csma_max_backoffs,
+              "attempt_transmission: backoff count overran the CSMA limit");
   if (generation != generation_[id]) return;
   Node& node = *nodes_[id];
   if (!node.alive()) return;
@@ -626,6 +635,7 @@ void Simulator::attempt_transmission(NodeId id, std::uint32_t generation,
 }
 
 void Simulator::deliver_to(NodeId receiver_id, DataPacket packet, bool& ack) {
+  VN2_REQUIRE(receiver_id < nodes_.size(), "deliver_to: node id out of range");
   Node& receiver = *nodes_[receiver_id];
   const Time now = queue_.now();
   receiver.bump(MetricId::kRadioOnTime, config_.tx_duration_s);
@@ -695,6 +705,7 @@ void Simulator::deliver_to(NodeId receiver_id, DataPacket packet, bool& ack) {
 }
 
 void Simulator::update_route(NodeId id) {
+  VN2_REQUIRE(id < nodes_.size(), "update_route: node id out of range");
   Node& node = *nodes_[id];
   if (id == kSinkId || !node.alive()) return;
 

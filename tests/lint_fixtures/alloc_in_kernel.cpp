@@ -1,0 +1,17 @@
+// Positive fixture for alloc-in-kernel: allocations inside kernel loop
+// bodies. Linted as src/linalg/kernels.cpp, never compiled.
+#include <vector>
+
+namespace vn2::linalg::kernels {
+
+void gemm_bad(double* c, const double* a, std::size_t n,
+              std::vector<double>& buffer) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> scratch(n, 0.0);      // fires: vector decl in loop
+    buffer.push_back(a[i]);                   // fires: container growth
+    Matrix t(n, n);                           // fires: Matrix temporary
+    for (std::size_t j = 0; j < n; ++j) c[i * n + j] = scratch[j] + t(0, j);
+  }
+}
+
+}  // namespace vn2::linalg::kernels

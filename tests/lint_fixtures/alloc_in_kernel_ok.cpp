@@ -1,0 +1,16 @@
+// Negative fixture for alloc-in-kernel: buffers are allocated before the
+// loop (caller workspace idiom); loop bodies only read and write through
+// pre-sized storage. Linted as src/linalg/kernels.cpp, never compiled.
+#include <vector>
+
+namespace vn2::linalg::kernels {
+
+void gemm_ok(double* c, const double* a, std::size_t n) {
+  std::vector<double> scratch(n, 0.0);  // outside any loop: fine
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j)
+      c[i * n + j] = a[i * n + j] + scratch[j];
+  }
+}
+
+}  // namespace vn2::linalg::kernels

@@ -1,0 +1,18 @@
+// Positive fixture for unchecked-public-entry: a public API definition
+// that indexes with a parameter before any contract check. Linted (never
+// compiled) with public_api = {"lookup", "scaled"}.
+#include "core/thing.hpp"
+
+namespace vn2::core {
+
+double lookup(const Vector& v, std::size_t i) {
+  return v[i];  // index use with no prior VN2_CHECK: fires
+}
+
+double scaled(const Vector& v, double factor) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < v.size(); ++k) acc += v[k] * factor;  // fires
+  return acc;
+}
+
+}  // namespace vn2::core

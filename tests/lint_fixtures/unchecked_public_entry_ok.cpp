@@ -1,0 +1,33 @@
+// Negative fixture for unchecked-public-entry: every public definition
+// validates before the first risky parameter use — via a contract macro,
+// the hand-rolled if-throw idiom, a validation helper, or by promising
+// totality with noexcept. Linted (never compiled) with public_api =
+// {"checked", "guarded", "helper_checked", "total", "whole_value"}.
+#include "core/thing.hpp"
+
+namespace vn2::core {
+
+double checked(const Vector& v, std::size_t i) {
+  VN2_CHECK(i < v.size(), "checked: index out of range");
+  return v[i];
+}
+
+double guarded(const Vector& v, std::size_t i) {
+  if (i >= v.size()) throw std::out_of_range("guarded: index");
+  return v[i];
+}
+
+double helper_checked(const Vector& v, std::size_t i) {
+  check_index(i, v.size());
+  return v[i];
+}
+
+double total(const Vector& v, std::size_t i) noexcept {
+  return i < v.size() ? v[i] : 0.0;
+}
+
+double whole_value(const Vector& v) {
+  return v.sum();  // member call: the parameter is read whole, no risk
+}
+
+}  // namespace vn2::core

@@ -3,14 +3,25 @@
 // near-miss fixture stays clean. Fixtures live in tests/lint_fixtures/
 // (found via VN2_LINT_FIXTURE_DIR, set by tests/CMakeLists.txt); they are
 // linted, never compiled.
+//
+// The v2 additions cover: bit-compatibility of the legacy rules with the
+// v1 line-based engine (exact line/rule tuples), the four token/scope
+// rules, SARIF round-tripping, the baseline ratchet, and lint_main's
+// 0/1/2 exit-code contract.
 #include "vn2_lint.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/sarif.hpp"
 
 namespace vn2::lint {
 namespace {
@@ -243,8 +254,407 @@ TEST(Lint, RuleCatalogueIsStable) {
       "nondeterminism-random", "nondeterminism-clock",   "float-in-numeric",
       "io-in-library",         "using-namespace-header", "naked-new",
       "zero-skip-kernel",      "unseeded-mt19937",       "include-guard",
-      "parallel-capture",      "parallel-inventory"};
+      "parallel-capture",      "parallel-inventory",
+      "unchecked-public-entry", "lock-in-parallel-body",
+      "alloc-in-kernel",        "throw-across-parallel"};
   EXPECT_EQ(std::set<std::string>(ids.begin(), ids.end()), expected);
+}
+
+TEST(Lint, RuleCatalogueDescribesEveryRule) {
+  const auto ids = rule_ids();
+  const auto catalogue = rule_catalogue();
+  ASSERT_EQ(catalogue.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(catalogue[i].first, ids[i]);
+    EXPECT_FALSE(catalogue[i].second.empty()) << ids[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// v1 bit-compatibility: the v2 token engine must report the exact same
+// (line, rule) tuples on the legacy fixtures as the line-based v1 engine
+// did. These tuples were recorded from the v1 binary; do not edit them to
+// make a refactor pass.
+
+using Anchors = std::vector<std::pair<std::size_t, std::string>>;
+
+Anchors anchors_of(const std::string& fixture_name,
+                   const std::string& virtual_path) {
+  Anchors anchors;
+  for (const Finding& f : lint_content(virtual_path, fixture(fixture_name)))
+    anchors.emplace_back(f.line, f.rule);
+  return anchors;
+}
+
+TEST(Lint, LegacyRulesAreBitCompatible) {
+  EXPECT_EQ(anchors_of("io_in_library.cpp", "src/core/bad.cpp"),
+            (Anchors{{7, "io-in-library"}, {8, "io-in-library"}}));
+  EXPECT_EQ(anchors_of("naked_new.cpp", "src/core/bad.cpp"),
+            (Anchors{{9, "naked-new"}, {10, "naked-new"}, {11, "naked-new"}}));
+  EXPECT_EQ(anchors_of("nondeterminism_clock.cpp", "src/core/bad.cpp"),
+            (Anchors{{6, "nondeterminism-clock"}, {8, "nondeterminism-clock"}}));
+  EXPECT_EQ(
+      anchors_of("nondeterminism_random.cpp", "src/core/bad.cpp"),
+      (Anchors{{6, "nondeterminism-random"}, {7, "nondeterminism-random"}}));
+  EXPECT_EQ(anchors_of("parallel_capture.cpp", "src/core/bad.cpp"),
+            (Anchors{{15, "parallel-capture"}}));
+  EXPECT_EQ(anchors_of("unseeded_mt19937.cpp", "src/core/bad.cpp"),
+            (Anchors{{12, "unseeded-mt19937"}, {13, "unseeded-mt19937"}}));
+  EXPECT_EQ(anchors_of("missing_guard.hpp", "src/core/bad.hpp"),
+            (Anchors{{1, "include-guard"}}));
+  EXPECT_EQ(anchors_of("using_namespace_header.hpp", "src/core/bad.hpp"),
+            (Anchors{{7, "using-namespace-header"}}));
+  EXPECT_EQ(anchors_of("float_in_numeric.cpp", "src/linalg/bad.cpp"),
+            (Anchors{{3, "float-in-numeric"}}));
+  EXPECT_EQ(anchors_of("zero_skip_kernel.cpp", "src/linalg/bad.cpp"),
+            (Anchors{{6, "zero-skip-kernel"}, {13, "zero-skip-kernel"}}));
+}
+
+// ---------------------------------------------------------------------------
+// v2 semantic rules.
+
+TEST(Lint, UncheckedPublicEntryFires) {
+  LintOptions options;
+  options.public_api = std::set<std::string>{"lookup", "scaled"};
+  const auto findings = lint_content(
+      "src/core/bad.cpp", fixture("unchecked_public_entry.cpp"), options);
+  Anchors anchors;
+  for (const Finding& f : findings)
+    if (f.rule == "unchecked-public-entry") anchors.emplace_back(f.line, f.rule);
+  EXPECT_EQ(anchors, (Anchors{{9, "unchecked-public-entry"},
+                              {14, "unchecked-public-entry"}}));
+}
+
+TEST(Lint, UncheckedPublicEntryNegativesStayClean) {
+  LintOptions options;
+  options.public_api = std::set<std::string>{
+      "checked", "guarded", "helper_checked", "total", "whole_value"};
+  const auto findings = lint_content(
+      "src/core/ok.cpp", fixture("unchecked_public_entry_ok.cpp"), options);
+  EXPECT_FALSE(rules_fired(findings).count("unchecked-public-entry"));
+}
+
+TEST(Lint, UncheckedPublicEntryDisabledWithoutApiSet) {
+  // No public_api in the options: the rule is off, like the inventory rule.
+  const auto findings =
+      lint_content("src/core/bad.cpp", fixture("unchecked_public_entry.cpp"));
+  EXPECT_FALSE(rules_fired(findings).count("unchecked-public-entry"));
+}
+
+TEST(Lint, UncheckedPublicEntryIgnoresNonApiFunctions) {
+  LintOptions options;
+  options.public_api = std::set<std::string>{"something_else"};
+  const auto findings = lint_content(
+      "src/core/bad.cpp", fixture("unchecked_public_entry.cpp"), options);
+  EXPECT_FALSE(rules_fired(findings).count("unchecked-public-entry"));
+}
+
+TEST(Lint, LockInParallelBodyFires) {
+  const auto findings =
+      lint_content("src/core/bad.cpp", fixture("lock_in_parallel.cpp"));
+  Anchors anchors;
+  for (const Finding& f : findings)
+    if (f.rule == "lock-in-parallel-body") anchors.emplace_back(f.line, f.rule);
+  EXPECT_EQ(anchors, (Anchors{{10, "lock-in-parallel-body"}}));
+}
+
+TEST(Lint, LockBeforeParallelRegionIsClean) {
+  const auto findings =
+      lint_content("src/core/ok.cpp", fixture("lock_in_parallel_ok.cpp"));
+  EXPECT_FALSE(rules_fired(findings).count("lock-in-parallel-body"));
+}
+
+TEST(Lint, ParallelLayerIsExemptFromLockRule) {
+  // core/parallel.* implements the pool; it owns the one sanctioned mutex.
+  const auto findings =
+      lint_content("src/core/parallel.cpp", fixture("lock_in_parallel.cpp"));
+  EXPECT_FALSE(rules_fired(findings).count("lock-in-parallel-body"));
+}
+
+TEST(Lint, AllocInKernelFires) {
+  const auto findings =
+      lint_content("src/linalg/kernels.cpp", fixture("alloc_in_kernel.cpp"));
+  Anchors anchors;
+  for (const Finding& f : findings)
+    if (f.rule == "alloc-in-kernel") anchors.emplace_back(f.line, f.rule);
+  // vector decl, push_back growth, Matrix temporary — one each.
+  EXPECT_EQ(anchors,
+            (Anchors{{10, "alloc-in-kernel"},
+                     {11, "alloc-in-kernel"},
+                     {12, "alloc-in-kernel"}}));
+}
+
+TEST(Lint, AllocOutsideKernelLoopIsClean) {
+  const auto findings = lint_content("src/linalg/kernels.cpp",
+                                     fixture("alloc_in_kernel_ok.cpp"));
+  EXPECT_FALSE(rules_fired(findings).count("alloc-in-kernel"));
+}
+
+TEST(Lint, AllocRuleOnlyAppliesToKernelsTu) {
+  const auto findings =
+      lint_content("src/core/other.cpp", fixture("alloc_in_kernel.cpp"));
+  EXPECT_FALSE(rules_fired(findings).count("alloc-in-kernel"));
+}
+
+TEST(Lint, ThrowAcrossParallelFires) {
+  const auto findings =
+      lint_content("src/core/bad.cpp", fixture("throw_across_parallel.cpp"));
+  Anchors anchors;
+  for (const Finding& f : findings)
+    if (f.rule == "throw-across-parallel") anchors.emplace_back(f.line, f.rule);
+  EXPECT_EQ(anchors, (Anchors{{10, "throw-across-parallel"}}));
+}
+
+TEST(Lint, ThrowBeforeParallelRegionIsClean) {
+  const auto findings =
+      lint_content("src/core/ok.cpp", fixture("throw_across_parallel_ok.cpp"));
+  EXPECT_FALSE(rules_fired(findings).count("throw-across-parallel"));
+}
+
+TEST(Lint, NewRulesHonorSuppressionComments) {
+  const std::string content =
+      "void f(std::vector<double>& out) {\n"
+      "  parallel_for(0, out.size(), 1, [&out](std::size_t i) {\n"
+      "    throw 1;  // vn2-lint: allow(throw-across-parallel)\n"
+      "    out[i] = 0.0;\n"
+      "  });\n"
+      "}\n";
+  const auto findings = lint_content("src/core/bad.cpp", content);
+  EXPECT_FALSE(rules_fired(findings).count("throw-across-parallel"));
+}
+
+TEST(Lint, PublicApiCollectionFindsHeaderDeclarations) {
+  const auto api =
+      collect_public_api(std::filesystem::path(VN2_LINT_REPO_ROOT));
+  EXPECT_TRUE(api.count("parallel_for"));
+  EXPECT_TRUE(api.count("encode"));
+}
+
+// ---------------------------------------------------------------------------
+// SARIF interchange and the baseline ratchet.
+
+std::vector<Finding> sample_findings() {
+  return {
+      {"src/core/bad.cpp", 7, "nondeterminism-random", "rand() in library"},
+      {"src/linalg/bad.cpp", 3, "float-in-numeric", "float in kernel"},
+  };
+}
+
+TEST(Sarif, RoundTripPreservesFindings) {
+  const auto original = sample_findings();
+  std::string error;
+  const auto parsed = findings_from_sarif(to_sarif(original), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].file, original[i].file);
+    EXPECT_EQ((*parsed)[i].line, original[i].line);
+    EXPECT_EQ((*parsed)[i].rule, original[i].rule);
+    EXPECT_EQ((*parsed)[i].message, original[i].message);
+  }
+}
+
+TEST(Sarif, EmitsSarif210Shape) {
+  const std::string log = to_sarif(sample_findings());
+  EXPECT_NE(log.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(log.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(log.find("\"name\": \"vn2-lint\""), std::string::npos);
+  EXPECT_NE(log.find("\"ruleId\": \"nondeterminism-random\""),
+            std::string::npos);
+  EXPECT_NE(log.find("\"startLine\": 7"), std::string::npos);
+  // The full rule catalogue ships in the driver metadata even when a rule
+  // did not fire, so code-scanning UIs can show descriptions.
+  for (const std::string& id : rule_ids())
+    EXPECT_NE(log.find("\"id\": \"" + id + "\""), std::string::npos) << id;
+}
+
+TEST(Sarif, EscapesMessageText) {
+  const std::vector<Finding> findings = {
+      {"src/core/bad.cpp", 1, "naked-new", "a \"quoted\"\nmessage\twith\\"}};
+  std::string error;
+  const auto parsed = findings_from_sarif(to_sarif(findings), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->front().message, findings.front().message);
+}
+
+TEST(Sarif, StrictParserRejectsMalformedLogs) {
+  std::string error;
+  EXPECT_FALSE(findings_from_sarif("", &error).has_value());
+  EXPECT_FALSE(findings_from_sarif("not json", &error).has_value());
+  EXPECT_FALSE(findings_from_sarif("{}", &error).has_value());
+  EXPECT_FALSE(
+      findings_from_sarif(R"({"version": "1.0.0", "runs": []})", &error)
+          .has_value());
+  // Truncated mid-structure.
+  const std::string log = to_sarif(sample_findings());
+  EXPECT_FALSE(
+      findings_from_sarif(log.substr(0, log.size() / 2), &error).has_value());
+}
+
+TEST(Baseline, PartitionsActiveSuppressedAndStale) {
+  const auto current = sample_findings();
+  const std::vector<Finding> baseline = {
+      // Matches current[0] by (rule, file, line); message may differ.
+      {"src/core/bad.cpp", 7, "nondeterminism-random", "older wording"},
+      // Matches nothing any more: stale, must be removed.
+      {"src/core/gone.cpp", 9, "naked-new", "fixed long ago"},
+  };
+  const BaselineDiff diff = apply_baseline(current, baseline);
+  ASSERT_EQ(diff.suppressed.size(), 1u);
+  EXPECT_EQ(diff.suppressed[0].file, "src/core/bad.cpp");
+  ASSERT_EQ(diff.active.size(), 1u);
+  EXPECT_EQ(diff.active[0].rule, "float-in-numeric");
+  ASSERT_EQ(diff.stale.size(), 1u);
+  EXPECT_EQ(diff.stale[0].file, "src/core/gone.cpp");
+}
+
+TEST(Baseline, EntriesConsumeAtMostOneFinding) {
+  // Two identical findings, one baseline entry: one suppressed, one active.
+  const std::vector<Finding> current = {
+      {"src/core/bad.cpp", 7, "naked-new", "first"},
+      {"src/core/bad.cpp", 7, "naked-new", "second"},
+  };
+  const std::vector<Finding> baseline = {
+      {"src/core/bad.cpp", 7, "naked-new", "grandfathered"}};
+  const BaselineDiff diff = apply_baseline(current, baseline);
+  EXPECT_EQ(diff.suppressed.size(), 1u);
+  EXPECT_EQ(diff.active.size(), 1u);
+  EXPECT_TRUE(diff.stale.empty());
+}
+
+TEST(Baseline, RepoBaselineIsEmpty) {
+  // The checked-in baseline's target state: no grandfathered findings. If
+  // a finding must be waived, prefer an inline justified allow() comment;
+  // the baseline exists to ratchet legacy debt down, not to grow.
+  const auto path =
+      std::filesystem::path(VN2_LINT_REPO_ROOT) / "lint_baseline.sarif";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const auto parsed = findings_from_sarif(buffer.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->empty());
+}
+
+// ---------------------------------------------------------------------------
+// lint_main exit codes: 0 clean, 1 findings or stale baseline, 2 usage/IO.
+
+int run_lint_main(const std::vector<std::string>& args) {
+  std::vector<const char*> argv = {"vn2_lint"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  return lint_main(static_cast<int>(argv.size()), argv.data());
+}
+
+class LintMainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path(::testing::TempDir()) /
+            ("vn2_lint_exit_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) /* stable per run */ +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    std::filesystem::create_directories(root_ / "src" / "core");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+  void write(const std::filesystem::path& relative,
+             const std::string& content) {
+    const auto path = root_ / relative;
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+  }
+  std::filesystem::path root_;
+};
+
+TEST_F(LintMainTest, CleanTreeExitsZero) {
+  write("src/core/ok.cpp", "int answer() { return 42; }\n");
+  EXPECT_EQ(run_lint_main({"--root", root_.string()}), 0);
+}
+
+TEST_F(LintMainTest, FindingsExitOne) {
+  write("src/core/bad.cpp", "int f() { return rand(); }\n");
+  EXPECT_EQ(run_lint_main({"--root", root_.string()}), 1);
+}
+
+TEST_F(LintMainTest, UnknownOptionExitsTwo) {
+  EXPECT_EQ(run_lint_main({"--bogus"}), 2);
+}
+
+TEST_F(LintMainTest, MissingRootExitsTwo) {
+  EXPECT_EQ(run_lint_main(
+                {"--root", (root_ / "does_not_exist").string()}),
+            2);
+}
+
+TEST_F(LintMainTest, MissingBaselineFileExitsTwo) {
+  write("src/core/ok.cpp", "int answer() { return 42; }\n");
+  EXPECT_EQ(run_lint_main({"--root", root_.string(), "--baseline",
+                           (root_ / "nope.sarif").string()}),
+            2);
+}
+
+TEST_F(LintMainTest, InvalidBaselineExitsTwo) {
+  write("src/core/ok.cpp", "int answer() { return 42; }\n");
+  write("baseline.sarif", "this is not SARIF");
+  EXPECT_EQ(run_lint_main({"--root", root_.string(), "--baseline",
+                           (root_ / "baseline.sarif").string()}),
+            2);
+}
+
+TEST_F(LintMainTest, BaselineGrandfathersFindingsToExitZero) {
+  write("src/core/bad.cpp", "int f() { return rand(); }\n");
+  const std::vector<Finding> entry = {{"src/core/bad.cpp", 1,
+                                       "nondeterminism-random",
+                                       "grandfathered"}};
+  write("baseline.sarif", to_sarif(entry));
+  EXPECT_EQ(run_lint_main({"--root", root_.string(), "--baseline",
+                           (root_ / "baseline.sarif").string()}),
+            0);
+}
+
+TEST_F(LintMainTest, StaleBaselineEntryExitsOne) {
+  // The ratchet: a fixed finding still listed in the baseline is an error,
+  // so the baseline can only ever shrink.
+  write("src/core/ok.cpp", "int answer() { return 42; }\n");
+  const std::vector<Finding> entry = {{"src/core/bad.cpp", 1,
+                                       "nondeterminism-random",
+                                       "fixed but still listed"}};
+  write("baseline.sarif", to_sarif(entry));
+  EXPECT_EQ(run_lint_main({"--root", root_.string(), "--baseline",
+                           (root_ / "baseline.sarif").string()}),
+            1);
+}
+
+TEST_F(LintMainTest, SarifOutputRoundTripsThroughDisk) {
+  write("src/core/bad.cpp", "int f() { return rand(); }\n");
+  const auto out = root_ / "out.sarif";
+  EXPECT_EQ(run_lint_main(
+                {"--root", root_.string(), "--sarif", out.string()}),
+            1);
+  std::ifstream in(out, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const auto parsed = findings_from_sarif(buffer.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->front().file, "src/core/bad.cpp");
+  EXPECT_EQ(parsed->front().rule, "nondeterminism-random");
+}
+
+TEST_F(LintMainTest, ToolsDirectoryIsLinted) {
+  // The linter lints its own home: tools/ is part of the default walk, so
+  // vn2_lint.cpp and tools/lint/ hold themselves to the same rules.
+  write("tools/helper.cpp", "int* leak() { return new int(7); }\n");
+  EXPECT_EQ(run_lint_main({"--root", root_.string()}), 1);
 }
 
 TEST(Lint, RepoTreeIsClean) {

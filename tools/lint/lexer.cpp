@@ -1,0 +1,223 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace vn2::lint {
+
+namespace {
+
+// Records `// vn2-lint: allow(a, b)` for `line`; a suppression comment on
+// an otherwise-empty line applies to the next line instead, so violations
+// can be annotated above as well as beside. (Unchanged v1 semantics.)
+void record_suppressions(const std::string& comment, bool own_code_on_line,
+                         std::size_t line, TokenStream& out) {
+  static const std::regex kAllow(R"(vn2-lint:\s*allow\(([^)]*)\))");
+  std::smatch match;
+  if (!std::regex_search(comment, match, kAllow)) return;
+  std::stringstream list(match[1].str());
+  std::string rule;
+  const std::size_t target = own_code_on_line ? line : line + 1;
+  while (std::getline(list, rule, ',')) {
+    const auto begin = rule.find_first_not_of(" \t");
+    const auto end = rule.find_last_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    out.allowed[target].insert(rule.substr(begin, end - begin + 1));
+  }
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Second pass: tokenize one blanked line. Literals were collapsed to
+/// `""` / `''` by the blanking pass, so the only lexical classes left are
+/// identifiers, numbers, and punctuation.
+void tokenize_line(const std::string& line, std::size_t line_no,
+                   bool preprocessor, std::vector<Token>& out) {
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n) {
+    const char c = line[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.line = line_no;
+    tok.preprocessor = preprocessor;
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(line[j])) ++j;
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = line.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Coarse pp-number: digits, letters, dots, ' separators, exponent
+      // signs. Precision is irrelevant — no rule inspects number values.
+      std::size_t j = i;
+      while (j < n && (ident_char(line[j]) || line[j] == '.' ||
+                       line[j] == '\'' ||
+                       ((line[j] == '+' || line[j] == '-') && j > i &&
+                        (line[j - 1] == 'e' || line[j - 1] == 'E'))))
+        ++j;
+      tok.kind = TokenKind::kNumber;
+      tok.text = line.substr(i, j - i);
+      i = j;
+    } else if (c == '"') {
+      // Blanked literal: always the two-character marker `""`.
+      tok.kind = TokenKind::kString;
+      tok.text = "\"\"";
+      i += (i + 1 < n && line[i + 1] == '"') ? 2 : 1;
+    } else if (c == '\'') {
+      tok.kind = TokenKind::kCharLit;
+      tok.text = "''";
+      i += (i + 1 < n && line[i + 1] == '\'') ? 2 : 1;
+    } else {
+      // Punctuator. "::" and "->" matter to the scope/declaration
+      // heuristics, so keep them whole; everything else is one char.
+      if (c == ':' && i + 1 < n && line[i + 1] == ':') {
+        tok.text = "::";
+        i += 2;
+      } else if (c == '-' && i + 1 < n && line[i + 1] == '>') {
+        tok.text = "->";
+        i += 2;
+      } else {
+        tok.text = std::string(1, c);
+        ++i;
+      }
+      tok.kind = TokenKind::kPunct;
+    }
+    out.push_back(std::move(tok));
+  }
+}
+
+}  // namespace
+
+bool is_keyword(const std::string& word) {
+  static const std::set<std::string> kw = {
+      "alignas",  "alignof",  "auto",      "bool",     "break",   "case",
+      "catch",    "char",     "class",     "const",    "consteval",
+      "constexpr", "constinit", "continue", "co_await", "co_return",
+      "co_yield", "decltype", "default",   "delete",   "do",      "double",
+      "else",     "enum",     "explicit",  "export",   "extern",  "false",
+      "float",    "for",      "friend",    "goto",     "if",      "inline",
+      "int",      "long",     "mutable",   "namespace", "new",    "noexcept",
+      "nullptr",  "operator", "private",   "protected", "public", "register",
+      "requires", "return",   "short",     "signed",   "sizeof",  "static",
+      "struct",   "switch",   "template",  "this",     "throw",   "true",
+      "try",      "typedef",  "typeid",    "typename", "union",   "unsigned",
+      "using",    "virtual",  "void",      "volatile", "while"};
+  return kw.count(word) > 0;
+}
+
+TokenStream lex(const std::string& content) {
+  TokenStream out;
+  std::string line;
+  std::string comment;  // comment text accumulated for this line
+  bool in_block_comment = false;
+  bool code_seen_on_line = false;
+
+  std::size_t i = 0;
+  std::size_t line_no = 1;
+  const std::size_t n = content.size();
+
+  // This blanking pass is the v1 `preprocess` scanner verbatim: the
+  // blanked-line view must stay byte-identical so the line-regex rules
+  // keep producing bit-identical findings.
+  auto flush_line = [&]() {
+    record_suppressions(comment, code_seen_on_line, line_no, out);
+    out.lines.push_back(line);
+    line.clear();
+    comment.clear();
+    code_seen_on_line = false;
+    ++line_no;
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      flush_line();
+      ++i;
+      continue;
+    }
+    if (in_block_comment) {
+      comment += c;
+      if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+        in_block_comment = false;
+        comment += '/';
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      // Line comment: consume to end of line (newline handled above).
+      while (i < n && content[i] != '\n') comment += content[i++];
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      in_block_comment = true;
+      comment += "/*";
+      i += 2;
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      // Raw string literal: R"delim( ... )delim".
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && content[p] != '(') delim += content[p++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t close = content.find(closer, p);
+      if (close == std::string::npos) close = n;
+      // Keep line structure: newlines inside the literal still break lines.
+      line += "\"\"";
+      code_seen_on_line = true;
+      for (std::size_t q = i; q < std::min(close + closer.size(), n); ++q)
+        if (content[q] == '\n') flush_line();
+      i = std::min(close + closer.size(), n);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      line += quote;
+      code_seen_on_line = true;
+      ++i;
+      while (i < n && content[i] != quote && content[i] != '\n') {
+        if (content[i] == '\\' && i + 1 < n) ++i;  // skip escape
+        ++i;
+      }
+      if (i < n && content[i] == quote) {
+        line += quote;
+        ++i;
+      }
+      continue;
+    }
+    line += c;
+    if (!std::isspace(static_cast<unsigned char>(c))) code_seen_on_line = true;
+    ++i;
+  }
+  if (!line.empty() || !comment.empty()) flush_line();
+
+  // Tokenize the blanked lines. Preprocessor directives (and their
+  // backslash continuations) are flagged so structural passes can skip
+  // them — a `do { } while (0)` macro body must not unbalance the brace
+  // tracker of the code that merely defines it.
+  bool continued = false;
+  for (std::size_t l = 0; l < out.lines.size(); ++l) {
+    const std::string& text = out.lines[l];
+    const std::size_t first = text.find_first_not_of(" \t");
+    const bool preproc =
+        continued || (first != std::string::npos && text[first] == '#');
+    tokenize_line(text, l + 1, preproc, out.tokens);
+    const std::size_t last = text.find_last_not_of(" \t");
+    continued = preproc && last != std::string::npos && text[last] == '\\';
+  }
+  return out;
+}
+
+}  // namespace vn2::lint

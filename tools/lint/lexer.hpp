@@ -1,0 +1,65 @@
+// vn2-lint v2 lexer.
+//
+// One scan over a translation unit produces the three views every rule
+// layer consumes:
+//
+//  * a real C++ token stream (identifiers, numbers, punctuation, collapsed
+//    string/char literals) with 1-based line numbers, comment- and
+//    raw-string-aware, preprocessor lines marked so brace tracking is not
+//    confused by macro bodies;
+//  * the comment/literal-blanked line view the line-regex rules match
+//    against (line structure preserved, so findings stay anchored) —
+//    byte-compatible with the v1 `preprocess` pass, which is what keeps
+//    the eleven v1 rules bit-identical on their fixtures;
+//  * the per-line `// vn2-lint: allow(...)` suppression sets.
+//
+// Deliberately std-only: the whole tool builds with one compiler
+// invocation and no cmake (see DESIGN.md "Correctness & static analysis").
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vn2::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< numeric literal (pp-number, coarse)
+  kString,      ///< string or raw-string literal, contents collapsed
+  kCharLit,     ///< character literal, contents collapsed
+  kPunct,       ///< one punctuator; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;        ///< spelling ("" contents for literals)
+  std::size_t line = 0;    ///< 1-based source line
+  bool preprocessor = false;  ///< on a `#...` line (incl. continuations)
+
+  bool is(const char* t) const { return text == t; }
+  bool ident(const char* t) const {
+    return kind == TokenKind::kIdentifier && text == t;
+  }
+};
+
+/// The lexed unit. `lines` is the blanked-line view; `tokens` excludes
+/// nothing (preprocessor tokens are present but flagged, so structural
+/// passes can skip them while line rules still see the text).
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<std::string> lines;  ///< comments/literals blanked
+  /// line (1-based) -> rules allowed on that line.
+  std::map<std::size_t, std::set<std::string>> allowed;
+};
+
+/// Lexes `content` (one file) into tokens + blanked lines + suppressions.
+[[nodiscard]] TokenStream lex(const std::string& content);
+
+/// True for C++ keywords (token-level; used to reject keyword
+/// "identifiers" in declaration/usage heuristics).
+[[nodiscard]] bool is_keyword(const std::string& word);
+
+}  // namespace vn2::lint

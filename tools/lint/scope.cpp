@@ -1,0 +1,406 @@
+#include "lint/scope.hpp"
+
+#include <algorithm>
+
+namespace vn2::lint {
+
+namespace {
+
+bool is_opener(const std::string& t) {
+  return t == "(" || t == "[" || t == "{";
+}
+char closer_for(const std::string& t) {
+  if (t == "(") return ')';
+  if (t == "[") return ']';
+  return '}';
+}
+
+/// Control keywords whose `(` must never be read as a parameter list.
+bool control_keyword(const std::string& t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "catch" || t == "return" || t == "sizeof" || t == "throw" ||
+         t == "alignof" || t == "decltype" || t == "new";
+}
+
+}  // namespace
+
+BracketMap::BracketMap(const std::vector<Token>& tokens)
+    : match_(tokens.size(), tokens.size()) {
+  struct Open {
+    std::size_t index;
+    char close;
+  };
+  std::vector<Open> stack;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.preprocessor || t.kind != TokenKind::kPunct) continue;
+    if (is_opener(t.text)) {
+      stack.push_back({i, closer_for(t.text)});
+    } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      // Tolerate mismatches (lint input may be ill-formed): pop until the
+      // matching opener kind, abandoning anything in between.
+      while (!stack.empty() && stack.back().close != t.text[0])
+        stack.pop_back();
+      if (!stack.empty()) {
+        match_[stack.back().index] = i;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+std::size_t BracketMap::match(std::size_t open) const {
+  return open < match_.size() ? match_[open] : match_.size();
+}
+
+namespace {
+
+/// Next/previous non-preprocessor token index, or `n`/npos-like `n`.
+std::size_t next_sig(const std::vector<Token>& toks, std::size_t i) {
+  const std::size_t n = toks.size();
+  ++i;
+  while (i < n && toks[i].preprocessor) ++i;
+  return i;
+}
+bool prev_sig(const std::vector<Token>& toks, std::size_t i,
+              std::size_t& out) {
+  while (i > 0) {
+    --i;
+    if (!toks[i].preprocessor) {
+      out = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parameter names from the tokens strictly inside a parameter list:
+/// per top-level comma segment, the last identifier before any default
+/// argument — unless it is a qualified-name tail (`std::size_t` alone
+/// names no parameter).
+std::vector<std::string> parse_param_names(const std::vector<Token>& toks,
+                                           std::size_t begin,
+                                           std::size_t end) {
+  std::vector<std::string> names;
+  std::size_t depth = 0;
+  std::size_t seg_begin = begin;
+  auto flush = [&](std::size_t seg_end) {
+    std::size_t stop = seg_end;  // exclude default-argument tokens
+    for (std::size_t i = seg_begin; i < stop; ++i)
+      if (!toks[i].preprocessor && toks[i].is("=")) {
+        stop = i;
+        break;
+      }
+    for (std::size_t i = stop; i > seg_begin;) {
+      --i;
+      const Token& t = toks[i];
+      if (t.preprocessor) continue;
+      if (t.kind == TokenKind::kIdentifier && !is_keyword(t.text)) {
+        std::size_t p = 0;
+        const bool qualified_tail =
+            prev_sig(toks, i, p) && p >= seg_begin && toks[p].is("::");
+        if (!qualified_tail) names.push_back(t.text);
+        return;
+      }
+      if (t.kind == TokenKind::kPunct &&
+          (t.is("]") || t.is("&") || t.is("*") || t.is(">")))
+        continue;  // array suffix / ref / ptr / template close before name
+      return;      // anything else: unnamed or not a simple parameter
+    }
+  };
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.preprocessor || t.kind != TokenKind::kPunct) continue;
+    if (is_opener(t.text) || t.is("<")) ++depth;
+    if (t.is(")") || t.is("]") || t.is("}") || t.is(">"))
+      depth = depth > 0 ? depth - 1 : 0;
+    if (t.is(",") && depth == 0) {
+      flush(i);
+      seg_begin = i + 1;
+    }
+  }
+  if (seg_begin < end) flush(end);
+  return names;
+}
+
+/// Starting after a definition's `)` at `after_close`, finds the body's
+/// opening `{` (skipping cv/ref/noexcept/trailing-return tokens and a
+/// constructor member-initializer list). Returns n when this is not a
+/// definition (declaration, `= default`, expression, ...).
+std::size_t find_body_open(const std::vector<Token>& toks,
+                           const BracketMap& brackets,
+                           std::size_t after_close) {
+  const std::size_t n = toks.size();
+  std::size_t k = after_close;
+  bool init_list = false;
+  while (k < n) {
+    const Token& t = toks[k];
+    if (t.preprocessor) {
+      ++k;
+      continue;
+    }
+    if (t.is("{")) {
+      if (!init_list) return k;
+      // In an initializer list a `{` directly after an identifier is a
+      // member's braced init — skip it; any other `{` is the body.
+      std::size_t p = 0;
+      if (prev_sig(toks, k, p) && toks[p].kind == TokenKind::kIdentifier &&
+          !is_keyword(toks[p].text)) {
+        const std::size_t close = brackets.match(k);
+        if (close >= n) return n;
+        k = close + 1;
+        continue;
+      }
+      return k;
+    }
+    if (t.is(",")) {
+      if (init_list) {  // between member initializers
+        ++k;
+        continue;
+      }
+      return n;
+    }
+    if (t.is(";") || t.is("=") || t.is(")") || t.is("}") || t.is("]"))
+      return n;
+    if (t.is(":")) {
+      init_list = true;
+      ++k;
+      continue;
+    }
+    if (t.is("(") || t.is("[")) {
+      const std::size_t close = brackets.match(k);
+      if (close >= n) return n;
+      k = close + 1;
+      continue;
+    }
+    ++k;  // const/noexcept/override/->/type tokens/…
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<FunctionDef> extract_functions(const TokenStream& ts,
+                                           const BracketMap& brackets) {
+  const std::vector<Token>& toks = ts.tokens;
+  const std::size_t n = toks.size();
+  std::vector<FunctionDef> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.preprocessor || !t.is("(")) continue;
+    std::size_t p = 0;
+    if (!prev_sig(toks, i, p)) continue;
+    const Token& name = toks[p];
+    if (name.kind != TokenKind::kIdentifier || is_keyword(name.text) ||
+        control_keyword(name.text))
+      continue;
+    std::size_t pp = 0;
+    if (prev_sig(toks, p, pp) && toks[pp].is("~")) continue;  // destructor
+    const std::size_t close = brackets.match(i);
+    if (close >= n) continue;
+    const std::size_t body_open = find_body_open(toks, brackets, close + 1);
+    if (body_open >= n) continue;
+    const std::size_t body_close = brackets.match(body_open);
+    if (body_close >= n) continue;
+    FunctionDef def;
+    def.name = name.text;
+    def.params = parse_param_names(toks, i + 1, close);
+    def.body = {body_open + 1, body_close};
+    def.line = name.line;
+    out.push_back(std::move(def));
+  }
+  return out;
+}
+
+std::vector<ParallelLambda> find_parallel_lambdas(const TokenStream& ts,
+                                                  const BracketMap& brackets) {
+  const std::vector<Token>& toks = ts.tokens;
+  const std::size_t n = toks.size();
+  std::vector<ParallelLambda> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (toks[i].preprocessor || !toks[i].ident("parallel_for")) continue;
+    const std::size_t call_open = next_sig(toks, i);
+    if (call_open >= n || !toks[call_open].is("(")) continue;
+    const std::size_t call_close = brackets.match(call_open);
+    if (call_close >= n) continue;
+    // The inline lambda argument, if any.
+    std::size_t cap_open = n;
+    for (std::size_t k = call_open + 1; k < call_close; ++k)
+      if (!toks[k].preprocessor && toks[k].is("[")) {
+        cap_open = k;
+        break;
+      }
+    if (cap_open >= n) continue;
+    const std::size_t cap_close = brackets.match(cap_open);
+    if (cap_close >= n) continue;
+    std::size_t body_open = n;
+    for (std::size_t k = cap_close + 1; k < n; ++k)
+      if (!toks[k].preprocessor && toks[k].is("{")) {
+        body_open = k;
+        break;
+      }
+    if (body_open >= n) continue;
+    const std::size_t body_close = brackets.match(body_open);
+    if (body_close >= n) continue;
+    ParallelLambda lambda;
+    lambda.captures = {cap_open + 1, cap_close};
+    lambda.body = {body_open + 1, body_close};
+    lambda.line = toks[cap_open].line;
+    out.push_back(lambda);
+  }
+  return out;
+}
+
+std::vector<TokenRange> find_loop_bodies(const TokenStream& ts,
+                                         const BracketMap& brackets,
+                                         TokenRange range) {
+  const std::vector<Token>& toks = ts.tokens;
+  const std::size_t n = toks.size();
+  const std::size_t end = std::min(range.end, n);
+  std::vector<TokenRange> out;
+  for (std::size_t i = range.begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.preprocessor || t.kind != TokenKind::kIdentifier) continue;
+    std::size_t body_start = n;
+    if (t.is("for") || t.is("while")) {
+      const std::size_t head = next_sig(toks, i);
+      if (head >= n || !toks[head].is("(")) continue;
+      const std::size_t head_close = brackets.match(head);
+      if (head_close >= n) continue;
+      body_start = next_sig(toks, head_close);
+    } else if (t.is("do")) {
+      body_start = next_sig(toks, i);
+    } else {
+      continue;
+    }
+    if (body_start >= n) continue;
+    if (toks[body_start].is("{")) {
+      const std::size_t body_close = brackets.match(body_start);
+      if (body_close < n) out.push_back({body_start + 1, body_close});
+    } else {
+      // Single-statement body: through the terminating `;` at depth 0.
+      std::size_t k = body_start;
+      while (k < n && !toks[k].is(";")) {
+        if (!toks[k].preprocessor && toks[k].kind == TokenKind::kPunct &&
+            is_opener(toks[k].text)) {
+          const std::size_t close = brackets.match(k);
+          if (close >= n) break;
+          k = close;
+        }
+        ++k;
+      }
+      out.push_back({body_start, std::min(k, n)});
+    }
+  }
+  return out;
+}
+
+std::set<std::string> collect_declared_functions(const TokenStream& ts,
+                                                 const BracketMap& brackets) {
+  const std::vector<Token>& toks = ts.tokens;
+  const std::size_t n = toks.size();
+
+  // Classify every brace so only namespace/class scope is searched —
+  // calls inside inline function bodies share the `name(args);` shape
+  // with declarations and must not be collected.
+  enum class Scope { kDecl, kCode };
+  std::vector<std::size_t> code_opens;  // '{' indices opening code scopes
+  std::vector<Scope> kind_of_open(n, Scope::kDecl);
+  {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (toks[i].preprocessor || !toks[i].is("{")) continue;
+      // Look back to the start of the "statement" introducing this brace.
+      Scope scope = Scope::kCode;
+      bool saw_paren = false;
+      for (std::size_t k = i; k > 0;) {
+        --k;
+        const Token& b = toks[k];
+        if (b.preprocessor) continue;
+        if (b.is(";") || b.is("{") || b.is("}")) break;
+        if (b.is(")")) saw_paren = true;
+        if (b.kind == TokenKind::kIdentifier &&
+            (b.is("namespace") ||
+             ((b.is("class") || b.is("struct") || b.is("union") ||
+               b.is("enum")) &&
+              !saw_paren))) {
+          scope = Scope::kDecl;
+          break;
+        }
+      }
+      kind_of_open[i] = scope;
+    }
+  }
+
+  std::set<std::string> out;
+  std::vector<Scope> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.preprocessor) continue;
+    if (t.is("{")) {
+      stack.push_back(kind_of_open[i]);
+      continue;
+    }
+    if (t.is("}")) {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    const bool decl_scope =
+        std::find(stack.begin(), stack.end(), Scope::kCode) == stack.end();
+    if (!decl_scope || !t.is("(")) continue;
+    std::size_t p = 0;
+    if (!prev_sig(toks, i, p)) continue;
+    const Token& name = toks[p];
+    if (name.kind != TokenKind::kIdentifier || is_keyword(name.text) ||
+        control_keyword(name.text))
+      continue;
+    std::size_t pp = 0;
+    if (prev_sig(toks, p, pp) && toks[pp].is("~")) continue;
+    // Reject inline/constexpr/template/friend declarations and anything
+    // appearing inside an initializer or after `return` (defensive — the
+    // scope filter should already exclude code positions).
+    bool excluded = false;
+    for (std::size_t k = p; k > 0 && !excluded;) {
+      --k;
+      const Token& b = toks[k];
+      if (b.preprocessor) continue;
+      if (b.is(";") || b.is("{") || b.is("}")) break;
+      if (b.is(":")) {
+        // Access specifier boundary (`public:`) — stop; but a member
+        // initializer's `:` never appears at decl scope.
+        std::size_t bp = 0;
+        if (prev_sig(toks, k, bp) && toks[bp].kind == TokenKind::kIdentifier)
+          break;
+        continue;
+      }
+      if (b.is("inline") || b.is("constexpr") || b.is("consteval") ||
+          b.is("template") || b.is("friend") || b.is("using") ||
+          b.is("operator") || b.is("return") || b.is("=") || b.is("#"))
+        excluded = true;
+    }
+    if (excluded) continue;
+    // Prototype: `)` then qualifiers then `;` — never `{` (in-header
+    // definition => inline) and never `=` (default/delete/pure).
+    const std::size_t close = brackets.match(i);
+    if (close >= n) continue;
+    bool is_decl = false;
+    for (std::size_t k = close + 1; k < n; ++k) {
+      const Token& a = toks[k];
+      if (a.preprocessor) continue;
+      if (a.is(";")) {
+        is_decl = true;
+        break;
+      }
+      if (a.is("{") || a.is("=") || a.is(",") || a.is(")") || a.is("}"))
+        break;
+      if (a.is("(") || a.is("[")) {
+        const std::size_t c2 = brackets.match(k);
+        if (c2 >= n) break;
+        k = c2;
+      }
+    }
+    if (is_decl) out.insert(name.text);
+  }
+  return out;
+}
+
+}  // namespace vn2::lint

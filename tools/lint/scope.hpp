@@ -1,0 +1,81 @@
+// vn2-lint v2 scope layer.
+//
+// Structural facts derived from the token stream: matched brackets,
+// function definitions with parameter names (the per-function fact
+// table), lambdas passed to `parallel_for`, loop bodies, and the
+// function declarations a public header exports. All of it is heuristic
+// — this is a linter, not a frontend — but the heuristics only ever
+// over- or under-collect in directions the rules tolerate (see each
+// rule's note in DESIGN.md).
+#pragma once
+
+#include "lint/lexer.hpp"
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vn2::lint {
+
+/// Token-index ranges are half-open [begin, end) over TokenStream::tokens.
+struct TokenRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] bool empty() const { return begin >= end; }
+};
+
+/// One function definition: `name(params) ... { body }`. For qualified
+/// definitions (`Matrix::resize`) `name` is the last component.
+struct FunctionDef {
+  std::string name;
+  std::vector<std::string> params;  ///< declared parameter names, in order
+  TokenRange body;                  ///< tokens strictly inside { }
+  std::size_t line = 0;             ///< line of the name token
+};
+
+/// One lambda argument of a `parallel_for(...)` call.
+struct ParallelLambda {
+  TokenRange captures;  ///< tokens strictly inside [ ]
+  TokenRange body;      ///< tokens strictly inside { }
+  std::size_t line = 0; ///< line of the opening `[`
+};
+
+/// Index of every opening `(`/`[`/`{` token to its matching closer.
+/// Preprocessor tokens are ignored (macro bodies must not unbalance the
+/// tracker). Unmatched openers map to `tokens.size()`.
+class BracketMap {
+ public:
+  explicit BracketMap(const std::vector<Token>& tokens);
+  /// Matching closer index for the opener at `open` (tokens.size() if
+  /// unmatched or `open` is not an opener).
+  [[nodiscard]] std::size_t match(std::size_t open) const;
+
+ private:
+  std::vector<std::size_t> match_;
+};
+
+/// Extracts function definitions (free functions, methods defined at
+/// class or namespace scope, qualified out-of-line definitions).
+[[nodiscard]] std::vector<FunctionDef> extract_functions(
+    const TokenStream& ts, const BracketMap& brackets);
+
+/// Finds the inline lambda argument of every `parallel_for(...)` call.
+[[nodiscard]] std::vector<ParallelLambda> find_parallel_lambdas(
+    const TokenStream& ts, const BracketMap& brackets);
+
+/// Bodies of `for`/`while`/`do` loops whose header starts inside
+/// `range` (whole stream when `range` is empty-initialized as {0, n}).
+/// Braced bodies are the brace interior; single-statement bodies run to
+/// the terminating `;`.
+[[nodiscard]] std::vector<TokenRange> find_loop_bodies(
+    const TokenStream& ts, const BracketMap& brackets, TokenRange range);
+
+/// Names of non-inline functions a header *declares* (prototype ending
+/// in `;`): free functions and class-body method declarations.
+/// Skips `inline`/`constexpr`/`template`/`operator`/destructors and
+/// anything defined in the header itself (those are inline by nature).
+[[nodiscard]] std::set<std::string> collect_declared_functions(
+    const TokenStream& ts, const BracketMap& brackets);
+
+}  // namespace vn2::lint

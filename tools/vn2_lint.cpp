@@ -1,10 +1,26 @@
-// vn2-lint implementation. See vn2_lint.hpp for the contract and DESIGN.md
-// for the rule catalogue. Everything here is deliberately std-only so the
-// checker builds in seconds on any toolchain and can gate CI without
-// pulling in a compiler frontend: the rules are textual (comment- and
-// string-aware), which is exactly the right power-to-weight for a ~5k LoC
-// tree with a consistent house style.
+// vn2-lint implementation (v2). See vn2_lint.hpp for the contract and
+// DESIGN.md for the rule catalogue. The engine is layered:
+//
+//   tools/lint/lexer.cpp  — one scan per file: token stream + blanked
+//                           line view + suppression sets
+//   tools/lint/scope.cpp  — bracket matching, function/lambda/loop
+//                           extraction, header declaration collection
+//   tools/lint/sarif.cpp  — SARIF 2.1.0 writer/parser + baseline diff
+//   this file             — the rules, the tree walk, and the CLI
+//
+// The eleven v1 line rules still match against the blanked line view
+// (which the lexer reproduces byte-for-byte), so their findings are
+// bit-identical to v1; the four v2 semantic rules
+// (unchecked-public-entry, lock-in-parallel-body, alloc-in-kernel,
+// throw-across-parallel) work on the token stream and the scope facts.
+// Everything is deliberately std-only so the checker builds in seconds
+// on any toolchain and can gate CI without pulling in a compiler
+// frontend.
 #include "vn2_lint.hpp"
+
+#include "lint/lexer.hpp"
+#include "lint/sarif.hpp"
+#include "lint/scope.hpp"
 
 // GCC attributes -Wmaybe-uninitialized false positives to <functional>
 // internals when std::regex is instantiated under -fsanitize=undefined
@@ -26,125 +42,6 @@
 namespace vn2::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Source preprocessing: strip comments and literal contents (preserving
-// line structure) and collect per-line suppression sets.
-
-struct Preprocessed {
-  std::vector<std::string> lines;  ///< Code with comments/literals blanked.
-  /// line (1-based) -> rules allowed on that line.
-  std::map<std::size_t, std::set<std::string>> allowed;
-};
-
-// Records `// vn2-lint: allow(a, b)` for `line`; a suppression comment on
-// an otherwise-empty line applies to the next line instead, so violations
-// can be annotated above as well as beside.
-void record_suppressions(const std::string& comment, bool own_code_on_line,
-                         std::size_t line, Preprocessed& out) {
-  static const std::regex kAllow(R"(vn2-lint:\s*allow\(([^)]*)\))");
-  std::smatch match;
-  if (!std::regex_search(comment, match, kAllow)) return;
-  std::stringstream list(match[1].str());
-  std::string rule;
-  const std::size_t target = own_code_on_line ? line : line + 1;
-  while (std::getline(list, rule, ',')) {
-    const auto begin = rule.find_first_not_of(" \t");
-    const auto end = rule.find_last_not_of(" \t");
-    if (begin == std::string::npos) continue;
-    out.allowed[target].insert(rule.substr(begin, end - begin + 1));
-  }
-}
-
-/// Blanks comments, string literals, and char literals so rules only ever
-/// match real code. Raw strings (R"delim(...)delim") are handled; line
-/// structure is preserved so findings stay anchored.
-Preprocessed preprocess(const std::string& content) {
-  Preprocessed out;
-  std::string line;
-  std::string comment;       // comment text accumulated for this line
-  bool in_block_comment = false;
-  bool code_seen_on_line = false;
-
-  std::size_t i = 0;
-  std::size_t line_no = 1;
-  const std::size_t n = content.size();
-
-  auto flush_line = [&]() {
-    record_suppressions(comment, code_seen_on_line, line_no, out);
-    out.lines.push_back(line);
-    line.clear();
-    comment.clear();
-    code_seen_on_line = false;
-    ++line_no;
-  };
-
-  while (i < n) {
-    const char c = content[i];
-    if (c == '\n') {
-      flush_line();
-      ++i;
-      continue;
-    }
-    if (in_block_comment) {
-      comment += c;
-      if (c == '*' && i + 1 < n && content[i + 1] == '/') {
-        in_block_comment = false;
-        comment += '/';
-        ++i;
-      }
-      ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
-      // Line comment: consume to end of line (newline handled above).
-      while (i < n && content[i] != '\n') comment += content[i++];
-      continue;
-    }
-    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
-      in_block_comment = true;
-      comment += "/*";
-      i += 2;
-      continue;
-    }
-    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
-      // Raw string literal: R"delim( ... )delim".
-      std::size_t p = i + 2;
-      std::string delim;
-      while (p < n && content[p] != '(') delim += content[p++];
-      const std::string closer = ")" + delim + "\"";
-      std::size_t close = content.find(closer, p);
-      if (close == std::string::npos) close = n;
-      // Keep line structure: newlines inside the literal still break lines.
-      line += "\"\"";
-      code_seen_on_line = true;
-      for (std::size_t q = i; q < std::min(close + closer.size(), n); ++q)
-        if (content[q] == '\n') flush_line();
-      i = std::min(close + closer.size(), n);
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      line += quote;
-      code_seen_on_line = true;
-      ++i;
-      while (i < n && content[i] != quote && content[i] != '\n') {
-        if (content[i] == '\\' && i + 1 < n) ++i;  // skip escape
-        ++i;
-      }
-      if (i < n && content[i] == quote) {
-        line += quote;
-        ++i;
-      }
-      continue;
-    }
-    line += c;
-    if (!std::isspace(static_cast<unsigned char>(c))) code_seen_on_line = true;
-    ++i;
-  }
-  if (!line.empty() || !comment.empty()) flush_line();
-  return out;
-}
 
 // ---------------------------------------------------------------------------
 // Path scoping helpers. Paths are repo-relative with forward slashes.
@@ -177,8 +74,14 @@ bool is_clock_home(const std::string& path) {
          starts_with(path, "src/telemetry/");
 }
 
+// The parallel layer implements the capture/rethrow machinery and the
+// pool's own locking, so the parallel-body rules never apply to it.
+bool is_parallel_layer(const std::string& path) {
+  return starts_with(path, "src/core/parallel.");
+}
+
 // ---------------------------------------------------------------------------
-// Simple regex-per-line rules.
+// Simple regex-per-line rules (v1-compatible).
 
 struct PatternRule {
   const char* id;
@@ -274,7 +177,7 @@ bool naked_new_matches(const std::string& code, std::size_t& pos) {
 // Header hygiene: every header needs `#pragma once` (house style) or a
 // classic include guard.
 
-void check_include_guard(const std::string& path, const Preprocessed& src,
+void check_include_guard(const std::string& path, const TokenStream& src,
                          std::vector<Finding>& findings) {
   if (!is_header(path)) return;
   bool guarded = false;
@@ -439,7 +342,7 @@ void check_lambda_writes(const std::string& path, const LambdaInfo& lambda,
   }
 }
 
-void check_parallel_captures(const std::string& path, const Preprocessed& src,
+void check_parallel_captures(const std::string& path, const TokenStream& src,
                              std::vector<Finding>& findings) {
   // Work on the joined stripped text so lambdas spanning lines are seen.
   std::string joined;
@@ -492,11 +395,11 @@ void check_parallel_captures(const std::string& path, const Preprocessed& src,
 // parallel_for, so a new call site forces a (reviewed) doc update. The
 // parallel layer itself is exempt — it defines the function.
 
-void check_parallel_inventory(const std::string& path, const Preprocessed& src,
+void check_parallel_inventory(const std::string& path, const TokenStream& src,
                               const LintOptions& options,
                               std::vector<Finding>& findings) {
   if (!options.threading_inventory) return;
-  if (starts_with(path, "src/core/parallel.")) return;
+  if (is_parallel_layer(path)) return;
   if (options.threading_inventory->count(path)) return;
   static const std::regex kCall(R"(\bparallel_for\s*\()");
   for (std::size_t i = 0; i < src.lines.size(); ++i)
@@ -507,7 +410,248 @@ void check_parallel_inventory(const std::string& path, const Preprocessed& src,
            "inventory; add the file there (and justify the parallelism)"});
 }
 
-void apply_suppressions(const Preprocessed& src,
+// ---------------------------------------------------------------------------
+// v2 semantic rules (token/scope based).
+
+/// unchecked-public-entry: a definition of a function the public headers
+/// declare must execute a contract check (VN2_CHECK / VN2_REQUIRE /
+/// VN2_ASSERT) before the first use of any parameter — the "validate at
+/// the boundary" discipline DESIGN.md promises for the API surface.
+void check_unchecked_public_entry(const std::string& path,
+                                  const TokenStream& src,
+                                  const BracketMap& brackets,
+                                  const LintOptions& options,
+                                  std::vector<Finding>& findings) {
+  if (!options.public_api) return;
+  if (!is_library_code(path) || is_header(path)) return;
+  static const std::set<std::string> kContracts = {
+      "VN2_CHECK", "VN2_REQUIRE", "VN2_ASSERT"};
+  // A use inside an `if (...)` whose guarded statement throws or returns
+  // is itself boundary validation (the hand-rolled precondition idiom),
+  // and satisfies the rule just like a contract macro does.
+  const auto guard_clause_validates = [&](const std::vector<std::size_t>&
+                                              open_parens) {
+    for (auto it = open_parens.rbegin(); it != open_parens.rend(); ++it) {
+      std::size_t q = *it;
+      // Previous significant token before the '('.
+      while (q > 0 && src.tokens[q - 1].preprocessor) --q;
+      if (q == 0 || !src.tokens[q - 1].ident("if")) continue;
+      std::size_t after = brackets.match(*it);
+      if (after >= src.tokens.size()) return false;
+      ++after;
+      while (after < src.tokens.size() &&
+             (src.tokens[after].preprocessor || src.tokens[after].is("{")))
+        ++after;
+      if (after >= src.tokens.size()) return false;
+      const Token& head = src.tokens[after];
+      return head.ident("throw") || head.ident("return") ||
+             kContracts.count(head.text) > 0;
+    }
+    return false;
+  };
+
+  // Only *risky* uses demand a prior check: a parameter consumed in an
+  // index or address computation (subscripts, pointer/index arithmetic).
+  // Reading a parameter's value whole — forwarding it, returning it,
+  // calling a member on it, comparing it — carries no precondition of
+  // its own, and contracting those would be exactly the tautology
+  // DESIGN.md bans.
+  const auto is_arith = [](const Token& t) {
+    return t.kind == TokenKind::kPunct &&
+           (t.is("+") || t.is("-") || t.is("*") || t.is("/") || t.is("%"));
+  };
+
+  for (const FunctionDef& fn : extract_functions(src, brackets)) {
+    if (!options.public_api->count(fn.name) || fn.params.empty()) continue;
+    // A noexcept function promises totality instead of throwing on bad
+    // input — contract macros (which throw) are the wrong tool there, so
+    // the boundary-validation discipline does not apply.
+    bool is_noexcept = false;
+    for (std::size_t k = fn.body.begin >= 8 ? fn.body.begin - 8 : 0;
+         k < fn.body.begin; ++k)
+      if (src.tokens[k].ident("noexcept")) is_noexcept = true;
+    if (is_noexcept) continue;
+    const std::set<std::string> params(fn.params.begin(), fn.params.end());
+    std::set<std::string> validated;        // params a guard already vetted
+    std::vector<std::size_t> open_parens;   // enclosing '(' token indices
+    std::vector<bool> bracket_is_subscript; // '[' stack: postfix subscript?
+    std::size_t subscript_depth = 0;        // enclosing postfix '[' groups
+    bool in_throw = false;                  // inside a throw statement
+    bool flagged = false;
+    for (std::size_t i = fn.body.begin; i < fn.body.end && !flagged; ++i) {
+      const Token& t = src.tokens[i];
+      if (t.preprocessor) continue;
+      if (t.kind == TokenKind::kPunct) {
+        if (t.is("(")) open_parens.push_back(i);
+        if (t.is(")") && !open_parens.empty()) open_parens.pop_back();
+        if (t.is("[")) {
+          // A '[' is a subscript only in postfix position (after an
+          // identifier, ')' or ']'); anything else — notably a lambda
+          // capture list — indexes nothing.
+          const Token* prev = i > fn.body.begin ? &src.tokens[i - 1] : nullptr;
+          const bool postfix =
+              prev && ((prev->kind == TokenKind::kIdentifier &&
+                        !is_keyword(prev->text)) ||
+                       prev->is(")") || prev->is("]"));
+          bracket_is_subscript.push_back(postfix);
+          if (postfix) ++subscript_depth;
+        }
+        if (t.is("]") && !bracket_is_subscript.empty()) {
+          if (bracket_is_subscript.back() && subscript_depth > 0)
+            --subscript_depth;
+          bracket_is_subscript.pop_back();
+        }
+        if (t.is(";")) in_throw = false;
+        continue;
+      }
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (kContracts.count(t.text)) break;  // checked before any use
+      // Calling a validation helper (require, check_index, …) is the
+      // project's other precondition idiom; credit it like a macro.
+      if (i + 1 < fn.body.end && src.tokens[i + 1].is("(")) {
+        std::string low;
+        for (char c : t.text)
+          low.push_back(static_cast<char>(
+              std::tolower(static_cast<unsigned char>(c))));
+        if (low.find("check") != std::string::npos ||
+            low.find("require") != std::string::npos ||
+            low.find("assert") != std::string::npos ||
+            low.find("validate") != std::string::npos)
+          break;
+      }
+      if (t.ident("throw")) in_throw = true;
+      if (!params.count(t.text)) continue;
+      // Qualified-name tails and member accesses are not parameter uses.
+      if (i > fn.body.begin) {
+        const Token& prev = src.tokens[i - 1];
+        if (prev.is("::") || prev.is(".") || prev.is("->")) continue;
+      }
+      // A use inside a validating guard's condition vets the parameter —
+      // every later use of it is downstream of the check.
+      if (guard_clause_validates(open_parens)) {
+        validated.insert(t.text);
+        continue;
+      }
+      // Uses inside a throw statement are error reporting, not risk.
+      if (in_throw || validated.count(t.text)) continue;
+      // `p.member()` / `p->member`: the parameter itself is read whole;
+      // any adjacent operator applies to the member's result, not to p.
+      if (i + 1 < fn.body.end &&
+          (src.tokens[i + 1].is(".") || src.tokens[i + 1].is("->")))
+        continue;
+      const bool next_subscripts =
+          i + 1 < fn.body.end && src.tokens[i + 1].is("[");
+      const bool in_arith =
+          (i > fn.body.begin && is_arith(src.tokens[i - 1])) ||
+          (i + 1 < fn.body.end && is_arith(src.tokens[i + 1]));
+      if (!next_subscripts && subscript_depth == 0 && !in_arith)
+        continue;  // benign whole-value use; keep scanning
+      findings.push_back(
+          {path, t.line, "unchecked-public-entry",
+           "public entry '" + fn.name + "' uses parameter '" + t.text +
+               "' in an index/arithmetic position before any "
+               "VN2_CHECK/VN2_REQUIRE; validate inputs at the boundary "
+               "first (or suppress with a justification)"});
+      flagged = true;
+    }
+  }
+}
+
+/// lock-in-parallel-body: no mutex/lock acquisition inside a parallel_for
+/// lambda — the deterministic threading model forbids cross-task
+/// synchronization (write to index-owned slots, reduce after the join).
+void check_lock_in_parallel(const std::string& path, const TokenStream& src,
+                            const BracketMap& brackets,
+                            std::vector<Finding>& findings) {
+  if (is_parallel_layer(path)) return;
+  static const std::set<std::string> kLockTypes = {
+      "mutex", "timed_mutex", "recursive_mutex", "shared_mutex",
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+  for (const ParallelLambda& lambda : find_parallel_lambdas(src, brackets)) {
+    std::size_t last_line = 0;  // one acquisition, one finding per line
+    for (std::size_t i = lambda.body.begin; i < lambda.body.end; ++i) {
+      const Token& t = src.tokens[i];
+      if (t.preprocessor || t.kind != TokenKind::kIdentifier) continue;
+      const bool member_lock =
+          (t.is("lock") || t.is("try_lock") || t.is("lock_shared")) &&
+          i > lambda.body.begin &&
+          (src.tokens[i - 1].is(".") || src.tokens[i - 1].is("->"));
+      if (!kLockTypes.count(t.text) && !member_lock) continue;
+      if (t.line == last_line) continue;
+      last_line = t.line;
+      findings.push_back(
+          {path, t.line, "lock-in-parallel-body",
+           "mutex/lock acquisition ('" + t.text +
+               "') inside a parallel_for body; the deterministic "
+               "threading model forbids cross-task synchronization — "
+               "write to index-owned slots and reduce after the join"});
+    }
+  }
+}
+
+/// alloc-in-kernel: the linalg kernel loops must be allocation-free —
+/// no new, no container growth, no Matrix temporaries. Buffers belong in
+/// the caller's workspace (see nmf::Workspace / nnls::SolveWorkspace).
+void check_alloc_in_kernel(const std::string& path, const TokenStream& src,
+                           const BracketMap& brackets,
+                           std::vector<Finding>& findings) {
+  if (path != "src/linalg/kernels.cpp") return;
+  static const std::set<std::string> kGrowth = {
+      "push_back", "emplace_back", "resize", "reserve", "insert"};
+  std::set<std::size_t> flagged;  // token indices, deduped across nests
+  for (const TokenRange& loop :
+       find_loop_bodies(src, brackets, {0, src.tokens.size()})) {
+    for (std::size_t i = loop.begin; i < loop.end && i < src.tokens.size();
+         ++i) {
+      const Token& t = src.tokens[i];
+      if (t.preprocessor || t.kind != TokenKind::kIdentifier) continue;
+      const bool is_new = t.is("new");
+      const bool is_growth =
+          kGrowth.count(t.text) && i > loop.begin &&
+          (src.tokens[i - 1].is(".") || src.tokens[i - 1].is("->"));
+      const bool is_matrix_ctor =
+          t.is("Matrix") && i + 1 < loop.end &&
+          (src.tokens[i + 1].kind == TokenKind::kIdentifier ||
+           src.tokens[i + 1].is("(") || src.tokens[i + 1].is("{"));
+      const bool is_vector_decl =
+          t.is("vector") && i > loop.begin && src.tokens[i - 1].is("::");
+      if (!(is_new || is_growth || is_matrix_ctor || is_vector_decl))
+        continue;
+      if (!flagged.insert(i).second) continue;
+      findings.push_back(
+          {path, t.line, "alloc-in-kernel",
+           "allocation ('" + t.text +
+               "') inside a kernel loop body; hot kernels must be "
+               "allocation-free — hoist buffers into the caller's "
+               "workspace"});
+    }
+  }
+}
+
+/// throw-across-parallel: a raw `throw` inside a parallel_for body
+/// bypasses the documented exception-capture idiom. Errors cross the
+/// task boundary either through a contract macro (parallel_for captures
+/// and rethrows the first exception) or an index-owned error slot.
+void check_throw_across_parallel(const std::string& path,
+                                 const TokenStream& src,
+                                 const BracketMap& brackets,
+                                 std::vector<Finding>& findings) {
+  if (is_parallel_layer(path)) return;
+  for (const ParallelLambda& lambda : find_parallel_lambdas(src, brackets)) {
+    for (std::size_t i = lambda.body.begin; i < lambda.body.end; ++i) {
+      const Token& t = src.tokens[i];
+      if (t.preprocessor || !t.ident("throw")) continue;
+      findings.push_back(
+          {path, t.line, "throw-across-parallel",
+           "raw throw inside a parallel_for body; route errors through "
+           "VN2_CHECK/VN2_REQUIRE (the capture idiom rethrows the first "
+           "contract violation on the caller) or an index-owned error "
+           "slot"});
+    }
+  }
+}
+
+void apply_suppressions(const TokenStream& src,
                         std::vector<Finding>& findings) {
   findings.erase(
       std::remove_if(findings.begin(), findings.end(),
@@ -523,11 +667,44 @@ void apply_suppressions(const Preprocessed& src,
 
 std::vector<std::string> rule_ids() {
   std::vector<std::string> ids;
-  for (const PatternRule& rule : pattern_rules()) ids.push_back(rule.id);
-  ids.push_back("include-guard");
-  ids.push_back("parallel-capture");
-  ids.push_back("parallel-inventory");
+  for (const auto& [id, description] : rule_catalogue()) {
+    (void)description;
+    ids.push_back(id);
+  }
   return ids;
+}
+
+std::vector<std::pair<std::string, std::string>> rule_catalogue() {
+  std::vector<std::pair<std::string, std::string>> rules;
+  for (const PatternRule& rule : pattern_rules())
+    rules.emplace_back(rule.id, rule.message);
+  rules.emplace_back("include-guard",
+                     "header lacks #pragma once or an include guard");
+  rules.emplace_back(
+      "parallel-capture",
+      "write to a '&'-captured local inside a parallel_for body; writes "
+      "must go to index-owned slots");
+  rules.emplace_back(
+      "parallel-inventory",
+      "parallel_for call site not listed in DESIGN.md's threading "
+      "inventory");
+  rules.emplace_back(
+      "unchecked-public-entry",
+      "public API definition uses a parameter before any "
+      "VN2_CHECK/VN2_REQUIRE contract check");
+  rules.emplace_back(
+      "lock-in-parallel-body",
+      "mutex/lock acquisition inside a parallel_for body; the "
+      "deterministic threading model forbids cross-task synchronization");
+  rules.emplace_back(
+      "alloc-in-kernel",
+      "allocation inside a linalg kernel loop body; hot kernels must be "
+      "allocation-free");
+  rules.emplace_back(
+      "throw-across-parallel",
+      "raw throw inside a parallel_for body; route errors through the "
+      "exception-capture idiom");
+  return rules;
 }
 
 std::optional<std::set<std::string>> parse_threading_inventory(
@@ -561,10 +738,33 @@ std::optional<std::set<std::string>> parse_threading_inventory(
   return inventory;
 }
 
+std::set<std::string> collect_public_api(const std::filesystem::path& root) {
+  std::set<std::string> api;
+  const std::filesystem::path base = root / "src";
+  if (!std::filesystem::exists(base)) return api;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(base)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".h") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const TokenStream ts = lex(buffer.str());
+    const BracketMap brackets(ts.tokens);
+    const std::set<std::string> declared =
+        collect_declared_functions(ts, brackets);
+    api.insert(declared.begin(), declared.end());
+  }
+  return api;
+}
+
 std::vector<Finding> lint_content(const std::string& path,
                                   const std::string& content,
                                   const LintOptions& options) {
-  const Preprocessed src = preprocess(content);
+  const TokenStream src = lex(content);
+  const BracketMap brackets(src.tokens);
   std::vector<Finding> findings;
 
   for (const PatternRule& rule : pattern_rules()) {
@@ -585,6 +785,10 @@ std::vector<Finding> lint_content(const std::string& path,
   check_include_guard(path, src, findings);
   check_parallel_captures(path, src, findings);
   check_parallel_inventory(path, src, options, findings);
+  check_unchecked_public_entry(path, src, brackets, options, findings);
+  check_lock_in_parallel(path, src, brackets, findings);
+  check_alloc_in_kernel(path, src, brackets, findings);
+  check_throw_across_parallel(path, src, brackets, findings);
   apply_suppressions(src, findings);
 
   std::sort(findings.begin(), findings.end(),
@@ -619,6 +823,7 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root,
 
   LintOptions options;
   options.threading_inventory = parse_threading_inventory(root / "DESIGN.md");
+  options.public_api = collect_public_api(root);
 
   std::vector<Finding> findings;
   for (const std::string& dir : walk) {
@@ -645,54 +850,121 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root,
   return findings;
 }
 
-}  // namespace vn2::lint
-
-#ifndef VN2_LINT_NO_MAIN
-
 namespace {
 
-int usage() {
-  std::cout << "usage: vn2_lint [--root DIR] [--list-rules] [DIR...]\n"
-               "Lints src/, tools/, bench/, examples/ under --root\n"
-               "(default: current directory) or the listed DIRs.\n"
-               "Exits 1 when any unsuppressed finding remains.\n";
+int usage(std::ostream& out) {
+  out << "usage: vn2_lint [--root DIR] [--list-rules] [--sarif OUT]\n"
+         "                [--baseline FILE] [DIR...]\n"
+         "Lints src/, tools/, bench/, examples/ under --root\n"
+         "(default: current directory) or the listed DIRs.\n"
+         "  --sarif OUT      also write findings as SARIF 2.1.0\n"
+         "  --baseline FILE  suppress findings listed in a SARIF\n"
+         "                   baseline; stale entries are errors (the\n"
+         "                   baseline may only shrink)\n"
+         "Exit codes: 0 clean, 1 findings (or stale baseline), 2\n"
+         "usage/IO error.\n";
   return 2;
+}
+
+void print_finding(const Finding& f) {
+  std::cout << f.file << ':' << f.line << ": [" << f.rule << "] "
+            << f.message << '\n';
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int lint_main(int argc, const char* const* argv) {
   std::filesystem::path root = std::filesystem::current_path();
   std::vector<std::string> dirs;
+  std::string sarif_out;
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_out = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else if (arg == "--list-rules") {
-      for (const std::string& id : vn2::lint::rule_ids())
-        std::cout << id << '\n';
+      for (const std::string& id : rule_ids()) std::cout << id << '\n';
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      return usage();
+      return usage(std::cout);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "vn2_lint: unknown option " << arg << '\n';
-      return usage();
+      return usage(std::cerr);
     } else {
       dirs.push_back(arg);
     }
   }
+  if (!std::filesystem::exists(root)) {
+    std::cerr << "vn2_lint: --root " << root.string()
+              << " does not exist\n";
+    return 2;
+  }
 
-  const auto findings = vn2::lint::lint_tree(root, dirs);
-  for (const auto& f : findings)
-    std::cout << f.file << ':' << f.line << ": [" << f.rule << "] "
-              << f.message << '\n';
-  if (findings.empty()) {
+  std::vector<Finding> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "vn2_lint: cannot read baseline " << baseline_path
+                << '\n';
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const auto parsed = findings_from_sarif(buffer.str(), &error);
+    if (!parsed) {
+      std::cerr << "vn2_lint: invalid SARIF baseline " << baseline_path
+                << ": " << error << '\n';
+      return 2;
+    }
+    baseline = *parsed;
+  }
+
+  const auto findings = lint_tree(root, dirs);
+  const bool io_failed =
+      std::any_of(findings.begin(), findings.end(),
+                  [](const Finding& f) { return f.rule == "io-error"; });
+  const BaselineDiff diff = apply_baseline(findings, baseline);
+
+  if (!sarif_out.empty()) {
+    std::ofstream out(sarif_out, std::ios::binary);
+    out << to_sarif(diff.active);
+    if (!out) {
+      std::cerr << "vn2_lint: cannot write SARIF to " << sarif_out << '\n';
+      return 2;
+    }
+  }
+
+  for (const Finding& f : diff.active) print_finding(f);
+  for (const Finding& f : diff.stale)
+    std::cout << f.file << ':' << f.line << ": [baseline-stale] fixed "
+              << "finding still listed in the baseline; remove the '"
+              << f.rule << "' entry (the baseline may only shrink)\n";
+  if (!diff.suppressed.empty())
+    std::cout << "vn2-lint: " << diff.suppressed.size()
+              << " grandfathered finding"
+              << (diff.suppressed.size() == 1 ? "" : "s")
+              << " suppressed by the baseline\n";
+
+  if (io_failed) return 2;
+  const std::size_t failures = diff.active.size() + diff.stale.size();
+  if (failures == 0) {
     std::cout << "vn2-lint: clean\n";
     return 0;
   }
-  std::cout << "vn2-lint: " << findings.size() << " finding"
-            << (findings.size() == 1 ? "" : "s") << '\n';
+  std::cout << "vn2-lint: " << failures << " finding"
+            << (failures == 1 ? "" : "s") << '\n';
   return 1;
 }
+
+}  // namespace vn2::lint
+
+#ifndef VN2_LINT_NO_MAIN
+
+int main(int argc, char** argv) { return vn2::lint::lint_main(argc, argv); }
 
 #endif  // VN2_LINT_NO_MAIN
