@@ -9,13 +9,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/inference.hpp"
 #include "core/model.hpp"
 #include "core/parallel.hpp"
+#include "linalg/cpu_features.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/random.hpp"
@@ -181,8 +185,10 @@ void run_parallel_report(const char* json_path) {
 }
 
 // Per-backend serial diagnosis: the whole diagnose path (NNLS against Ψᵀ)
-// under each kernel backend, with a weight-identity check — diagnosis must
-// not depend on which backend ran it.
+// under every kernel backend this build-and-host can run. Diagnosis must
+// not depend on which backend ran it: reference and blocked match
+// bit-for-bit, the simd backend stays within 1e-12 relative on every
+// weight. The JSON header records the detected CPU features.
 void run_linalg_backend_report(const char* json_path) {
   using vn2::linalg::Backend;
   const std::size_t batch = 1000;
@@ -198,25 +204,57 @@ void run_linalg_backend_report(const char* json_path) {
     *seconds = seconds_since(start);
     return diagnoses;
   };
-  double reference_seconds = 0.0, blocked_seconds = 0.0;
-  const auto reference = run_with(Backend::kReference, &reference_seconds);
-  const auto blocked = run_with(Backend::kBlocked, &blocked_seconds);
+  std::vector<Backend> backends = {Backend::kReference};
+  if (vn2::linalg::blocked_kernels_compiled())
+    backends.push_back(Backend::kBlocked);
+  if (vn2::linalg::simd_available()) backends.push_back(Backend::kSimd);
+  std::vector<double> seconds(backends.size(), 0.0);
+  std::vector<std::vector<vn2::core::Diagnosis>> results;
+  for (std::size_t k = 0; k < backends.size(); ++k)
+    results.push_back(run_with(backends[k], &seconds[k]));
   vn2::core::set_num_threads(0);
   vn2::linalg::set_backend(vn2::linalg::parse_backend("auto").value());
 
-  bool identical = reference.size() == blocked.size();
-  for (std::size_t i = 0; identical && i < reference.size(); ++i) {
-    identical = reference[i].residual == blocked[i].residual;
-    for (std::size_t r = 0; identical && r < reference[i].weights.size(); ++r)
-      identical = reference[i].weights[r] == blocked[i].weights[r];
+  // Reference row is index 0; blocked must equal it exactly, simd within
+  // the documented relative tolerance.
+  bool scalar_identical = true;
+  double max_rel_dev = 0.0;
+  for (std::size_t k = 1; k < backends.size(); ++k) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto& want = results[0][i];
+      const auto& got = results[k][i];
+      auto dev = [&](double g, double w) {
+        return std::abs(g - w) / std::max(1.0, std::abs(w));
+      };
+      double d = dev(got.residual, want.residual);
+      for (std::size_t r = 0; r < want.weights.size(); ++r)
+        d = std::max(d, dev(got.weights[r], want.weights[r]));
+      if (backends[k] == Backend::kBlocked && d != 0.0)
+        scalar_identical = false;
+      max_rel_dev = std::max(max_rel_dev, d);
+    }
   }
+  const bool within_tolerance = max_rel_dev <= 1e-12;
 
-  const double speedup =
-      blocked_seconds > 0.0 ? reference_seconds / blocked_seconds : 0.0;
-  std::printf("diagnose_batch of %zu states (r=25, 1 thread): reference "
-              "%.3fs, blocked %.3fs, speedup %.2fx, weights %s\n",
-              batch, reference_seconds, blocked_seconds, speedup,
-              identical ? "identical" : "DIVERGED");
+  std::string json_rows;
+  char line[128];
+  for (std::size_t k = 0; k < backends.size(); ++k) {
+    const char* name = vn2::linalg::backend_name(backends[k]);
+    std::printf("diagnose_batch of %zu states (r=25, 1 thread): %-9s %.3fs"
+                " (%.2fx vs reference)\n",
+                batch, name, seconds[k],
+                seconds[k] > 0.0 ? seconds[0] / seconds[k] : 0.0);
+    std::snprintf(line, sizeof(line),
+                  "    {\"backend\": \"%s\", \"threads\": 1, "
+                  "\"seconds\": %.6f}%s\n",
+                  name, seconds[k], k + 1 < backends.size() ? "," : "");
+    json_rows += line;
+  }
+  std::printf("diagnose_batch backends [cpu %s]: weights %s, max relative "
+              "deviation %.3e (%s 1e-12)\n",
+              vn2::linalg::cpu_features_summary().c_str(),
+              scalar_identical ? "identical" : "DIVERGED", max_rel_dev,
+              within_tolerance ? "within" : "EXCEEDS");
 
   std::FILE* out = std::fopen(json_path, "w");
   if (!out) {
@@ -228,22 +266,109 @@ void run_linalg_backend_report(const char* json_path) {
                "  \"bench\": \"diagnose_batch_backends\",\n"
                "  \"batch\": %zu,\n"
                "  \"rank\": 25,\n"
+               "  \"cpu_features\": \"%s\",\n"
                "  \"blocked_compiled\": %s,\n"
-               "  \"rows\": [\n"
-               "    {\"backend\": \"reference\", \"threads\": 1, "
-               "\"seconds\": %.6f},\n"
-               "    {\"backend\": \"blocked\", \"threads\": 1, "
-               "\"seconds\": %.6f}\n"
+               "  \"simd_compiled\": %s,\n"
+               "  \"simd_available\": %s,\n"
+               "  \"rows\": [\n%s"
                "  ],\n"
-               "  \"speedup\": %.4f,\n"
-               "  \"bit_identical\": %s\n"
+               "  \"scalar_backends_bit_identical\": %s,\n"
+               "  \"max_relative_deviation\": %.6e,\n"
+               "  \"within_parity_tolerance\": %s\n"
                "}\n",
-               batch,
+               batch, vn2::linalg::cpu_features_summary().c_str(),
                vn2::linalg::blocked_kernels_compiled() ? "true" : "false",
-               reference_seconds, blocked_seconds, speedup,
-               identical ? "true" : "false");
+               vn2::linalg::simd_kernels_compiled() ? "true" : "false",
+               vn2::linalg::simd_available() ? "true" : "false",
+               json_rows.c_str(), scalar_identical ? "true" : "false",
+               max_rel_dev, within_tolerance ? "true" : "false");
   std::fclose(out);
   std::printf("linalg backend report -> %s\n", json_path);
+}
+
+// One-shot diagnose_batch vs chunked diagnose_stream on a sink-scale state
+// stream: the streaming path must match per state bit-for-bit while holding
+// peak memory to one batch and amortizing NNLS workspace setup. Both runs
+// use the same thread budget, so the delta isolates the streaming overhead
+// (or gain, from workspace reuse).
+void run_stream_report(const char* json_path) {
+  const std::size_t total = 20000;
+  const TrainingReport report = trained_model(25);
+  const Matrix probes = vn2::testing::synthetic_states(total, 6);
+
+  const std::size_t hardware = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const std::size_t threads = std::max<std::size_t>(4, hardware);
+  vn2::core::set_num_threads(threads);
+
+  // vn2-lint: allow(nondeterminism-clock)
+  auto start = std::chrono::steady_clock::now();
+  const auto one_shot = vn2::core::diagnose_batch(report.model, probes);
+  const double batch_seconds = seconds_since(start);
+
+  vn2::core::StreamOptions options;
+  options.batch_size = 2048;
+  std::vector<vn2::core::Diagnosis> streamed;
+  streamed.reserve(total);
+  // vn2-lint: allow(nondeterminism-clock)
+  start = std::chrono::steady_clock::now();
+  const auto stream_report = vn2::core::diagnose_stream(
+      report.model, probes, options,
+      [&](std::size_t, const std::vector<vn2::core::Diagnosis>& chunk) {
+        streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+      });
+  const double stream_seconds = seconds_since(start);
+  vn2::core::set_num_threads(0);
+
+  bool identical = one_shot.size() == streamed.size();
+  for (std::size_t i = 0; identical && i < one_shot.size(); ++i) {
+    identical = one_shot[i].residual == streamed[i].residual &&
+                one_shot[i].weights.size() == streamed[i].weights.size();
+    for (std::size_t r = 0; identical && r < one_shot[i].weights.size(); ++r)
+      identical = one_shot[i].weights[r] == streamed[i].weights[r];
+  }
+
+  const double batch_rate = batch_seconds > 0.0 ? total / batch_seconds : 0.0;
+  const double stream_rate =
+      stream_seconds > 0.0 ? total / stream_seconds : 0.0;
+  const double speedup =
+      stream_seconds > 0.0 ? batch_seconds / stream_seconds : 0.0;
+  std::printf("diagnose_stream of %zu states (r=25, %zu threads, batches of "
+              "%zu): one-shot %.3fs (%.0f/s), stream %.3fs (%.0f/s), "
+              "%.2fx, %zu batches, outputs %s\n",
+              total, threads, options.batch_size, batch_seconds, batch_rate,
+              stream_seconds, stream_rate, speedup, stream_report.batches,
+              identical ? "identical" : "DIVERGED");
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"diagnose_stream\",\n"
+               "  \"states\": %zu,\n"
+               "  \"rank\": 25,\n"
+               "  \"threads\": %zu,\n"
+               "  \"batch_size\": %zu,\n"
+               "  \"batches\": %zu,\n"
+               "  \"rows\": [\n"
+               "    {\"path\": \"diagnose_batch\", \"seconds\": %.6f, "
+               "\"states_per_second\": %.1f},\n"
+               "    {\"path\": \"diagnose_stream\", \"seconds\": %.6f, "
+               "\"states_per_second\": %.1f}\n"
+               "  ],\n"
+               "  \"stream_speedup\": %.4f,\n"
+               "  \"bit_identical\": %s,\n"
+               "  \"telemetry\": %s\n"
+               "}\n",
+               total, threads, options.batch_size, stream_report.batches,
+               batch_seconds, batch_rate, stream_seconds, stream_rate,
+               speedup, identical ? "true" : "false",
+               vn2::bench_support::telemetry_snapshot_json().c_str());
+  std::fclose(out);
+  std::printf("stream report -> %s\n", json_path);
 }
 
 }  // namespace
@@ -263,6 +388,7 @@ int main(int argc, char** argv) {
   if (!skip_report) {
     run_parallel_report("BENCH_parallel_inference.json");
     run_linalg_backend_report("BENCH_linalg_inference.json");
+    run_stream_report("BENCH_inference_stream.json");
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

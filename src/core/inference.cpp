@@ -17,17 +17,20 @@ using linalg::Vector;
 namespace {
 
 // One diagnosis against a pre-transposed Ψᵀ, so batch callers pay for the
-// transpose once instead of once per state.
+// transpose once instead of once per state. The workspace recycles the
+// NNLS scratch across states (warm == cold bit-for-bit, see nnls.hpp).
 Diagnosis diagnose_against(const Matrix& psi_t, const Vn2Model& model,
                            const Vector& raw_state,
-                           const DiagnoseOptions& options) {
+                           const DiagnoseOptions& options,
+                           linalg::NnlsWorkspace& workspace) {
   Diagnosis diagnosis;
   diagnosis.exception_score = model.exception_score(raw_state);
   diagnosis.is_exception = model.is_exception(raw_state);
 
   // NNLS against A = Ψᵀ (86 × r), b = encoded state.
   const Vector encoded = model.encoder().encode(raw_state);
-  linalg::NnlsResult solution = linalg::nnls(psi_t, encoded, options.nnls);
+  linalg::NnlsResult solution =
+      linalg::nnls(psi_t, encoded, options.nnls, workspace);
   diagnosis.weights = std::move(solution.x);
   diagnosis.residual = solution.residual_norm;
 
@@ -47,6 +50,14 @@ Diagnosis diagnose_against(const Matrix& psi_t, const Vn2Model& model,
   VN2_ASSERT(diagnosis.ranked.size() <= diagnosis.weights.size(),
              "diagnose: ranked causes are a subset of the weights");
   return diagnosis;
+}
+
+// Cold-workspace convenience for the one-shot paths.
+Diagnosis diagnose_against(const Matrix& psi_t, const Vn2Model& model,
+                           const Vector& raw_state,
+                           const DiagnoseOptions& options) {
+  linalg::NnlsWorkspace workspace;
+  return diagnose_against(psi_t, model, raw_state, options, workspace);
 }
 
 void check_batch_input(const Vn2Model& model, const Matrix& raw_states,
@@ -84,6 +95,54 @@ std::vector<Diagnosis> diagnose_batch(const Vn2Model& model,
         diagnose_against(a, model, raw_states.row_vector(i), options);
   });
   return diagnoses;
+}
+
+StreamReport diagnose_stream(const Vn2Model& model, const Matrix& raw_states,
+                             const StreamOptions& options,
+                             const DiagnosisSink& sink) {
+  check_batch_input(model, raw_states, "diagnose_stream");
+  VN2_CHECK(options.batch_size > 0, "diagnose_stream: batch_size must be > 0");
+  VN2_CHECK(options.chunk > 0, "diagnose_stream: chunk must be > 0");
+  VN2_SPAN("vn2.diagnose_stream");
+  const std::size_t total = raw_states.rows();
+  VN2_COUNT_N("vn2.states.diagnosed", total);
+
+  const Matrix a = linalg::transpose(model.psi());
+  // The bounded queue: one batch of Diagnosis slots, recycled every
+  // iteration (slot vectors keep their heap capacity), so the stream's
+  // memory footprint is O(batch_size) however many states flow through.
+  std::vector<Diagnosis> batch(std::min(options.batch_size, total));
+  // One NNLS workspace per chunk slot. Chunk c is task c of the
+  // parallel_for, so workspace c is index-owned (race-free) and — because
+  // a warm workspace solves bit-identically to a cold one — reusing it
+  // across chunks' states and across batches never changes a result, it
+  // only amortizes the allocations away.
+  const std::size_t chunk = options.chunk;
+  const std::size_t slots = (batch.size() + chunk - 1) / chunk;
+  std::vector<linalg::NnlsWorkspace> workspaces(slots);
+
+  StreamReport report;
+  for (std::size_t first = 0; first < total; first += batch.size()) {
+    const std::size_t count = std::min(batch.size(), total - first);
+    const std::size_t chunks = (count + chunk - 1) / chunk;
+    VN2_SPAN("vn2.diagnose_stream.batch");
+    parallel_for(0, chunks, 1, [&](std::size_t c) {
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(begin + chunk, count);
+      for (std::size_t i = begin; i < end; ++i)
+        batch[i] = diagnose_against(a, model,
+                                    raw_states.row_vector(first + i),
+                                    options.diagnose, workspaces[c]);
+    });
+    if (count < batch.size()) batch.resize(count);
+    for (std::size_t i = 0; i < count; ++i)
+      if (batch[i].is_exception) ++report.exceptions;
+    report.states += count;
+    ++report.batches;
+    VN2_COUNT("vn2.stream.batches");
+    if (sink) sink(first, batch);
+  }
+  return report;
 }
 
 Matrix correlation_strengths(const Vn2Model& model, const Matrix& raw_states,

@@ -10,6 +10,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "linalg/cpu_features.hpp"
+#include "linalg/kernels_simd.hpp"
+
 #ifndef VN2_BLOCKED_KERNELS
 #define VN2_BLOCKED_KERNELS 1
 #endif
@@ -25,6 +28,7 @@ namespace vn2::linalg {
 namespace {
 
 constexpr bool kBlockedCompiled = VN2_BLOCKED_KERNELS != 0;
+constexpr bool kSimdCompiled = VN2_SIMD_COMPILED != 0;
 
 std::atomic<Backend> g_backend{kBlockedCompiled ? Backend::kBlocked
                                                 : Backend::kReference};
@@ -256,6 +260,12 @@ void mirror_lower(double* g, std::size_t k) {
 }  // namespace
 
 void set_backend(Backend backend) noexcept {
+  // Fallback chain simd → blocked → reference: never store a backend this
+  // build or host cannot run, so the dispatch below needs no re-checks.
+  // (The VN2_CPU_FEATURES mask is consulted here, at selection time; it
+  // does not retroactively demote an already-selected backend.)
+  if (backend == Backend::kSimd && !simd_available())
+    backend = Backend::kBlocked;
   if (backend == Backend::kBlocked && !kBlockedCompiled)
     backend = Backend::kReference;
   g_backend.store(backend, std::memory_order_relaxed);
@@ -267,15 +277,32 @@ Backend backend() noexcept {
 
 bool blocked_kernels_compiled() noexcept { return kBlockedCompiled; }
 
+bool simd_kernels_compiled() noexcept { return kSimdCompiled; }
+
+bool simd_available() noexcept {
+  return kSimdCompiled && simd_runtime_supported();
+}
+
 const char* backend_name(Backend backend) noexcept {
-  return backend == Backend::kBlocked ? "blocked" : "reference";
+  switch (backend) {
+    case Backend::kBlocked:
+      return "blocked";
+    case Backend::kSimd:
+      return "simd";
+    case Backend::kReference:
+      break;
+  }
+  return "reference";
 }
 
 std::optional<Backend> parse_backend(std::string_view name) {
-  if (name == "auto")
+  if (name == "auto") {
+    if (simd_available()) return Backend::kSimd;
     return kBlockedCompiled ? Backend::kBlocked : Backend::kReference;
+  }
   if (name == "reference") return Backend::kReference;
   if (name == "blocked") return Backend::kBlocked;
+  if (name == "simd") return Backend::kSimd;
   return std::nullopt;
 }
 
@@ -283,6 +310,12 @@ namespace kernels {
 
 void gemm_rows(const double* a, const double* b, double* c, std::size_t k,
                std::size_t m, std::size_t row_begin, std::size_t row_end) {
+#if VN2_SIMD_COMPILED
+  if (backend() == Backend::kSimd) {
+    simd::gemm_rows(a, b, c, k, m, row_begin, row_end);
+    return;
+  }
+#endif
 #if VN2_BLOCKED_KERNELS
   if (backend() == Backend::kBlocked) {
     gemm_rows_blocked(a, b, c, k, m, row_begin, row_end);
@@ -294,6 +327,12 @@ void gemm_rows(const double* a, const double* b, double* c, std::size_t k,
 
 void gemv(const double* a, const double* x, double* y, std::size_t rows,
           std::size_t cols) {
+#if VN2_SIMD_COMPILED
+  if (backend() == Backend::kSimd) {
+    simd::gemv(a, x, y, rows, cols);
+    return;
+  }
+#endif
 #if VN2_BLOCKED_KERNELS
   if (backend() == Backend::kBlocked) {
     gemv_blocked(a, x, y, rows, cols);
@@ -304,6 +343,13 @@ void gemv(const double* a, const double* x, double* y, std::size_t rows,
 }
 
 void syrk_upper(const double* a, std::size_t rows, std::size_t k, double* g) {
+#if VN2_SIMD_COMPILED
+  if (backend() == Backend::kSimd) {
+    simd::syrk_upper(a, rows, k, g);
+    mirror_lower(g, k);
+    return;
+  }
+#endif
 #if VN2_BLOCKED_KERNELS
   if (backend() == Backend::kBlocked) {
     syrk_upper_blocked(a, rows, k, g);
@@ -316,6 +362,9 @@ void syrk_upper(const double* a, std::size_t rows, std::size_t k, double* g) {
 }
 
 double dot(const double* a, const double* b, std::size_t n) noexcept {
+#if VN2_SIMD_COMPILED
+  if (backend() == Backend::kSimd) return simd::dot(a, b, n);
+#endif
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
   return acc;
@@ -323,6 +372,12 @@ double dot(const double* a, const double* b, std::size_t n) noexcept {
 
 void axpy(double alpha, const double* VN2_RESTRICT x, double* VN2_RESTRICT y,
           std::size_t n) noexcept {
+#if VN2_SIMD_COMPILED
+  if (backend() == Backend::kSimd) {
+    simd::axpy(alpha, x, y, n);
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 

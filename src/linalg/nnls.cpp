@@ -15,18 +15,6 @@ namespace vn2::linalg {
 
 namespace {
 
-/// Scratch reused across the active-set iterations of one solve: the
-/// passive columns packed contiguously, the Gram matrix and its rhs, and
-/// the residual/gradient buffers of the outer loop. Everything here used
-/// to be allocated per iteration.
-struct SolveWorkspace {
-  std::vector<double> packed;  ///< rows × |passive|, row-major gather of A.
-  Matrix gram;                 ///< |passive| × |passive|.
-  Vector rhs;
-  Vector ax;        ///< A·x (residual evaluation).
-  Vector gradient;  ///< w = Aᵀ(b − A·x).
-};
-
 /// Solves the unconstrained least-squares problem restricted to the passive
 /// set via normal equations (AᵀA)z = Aᵀb with a small ridge for stability.
 /// The Gram matrix comes from the shared SYRK kernel on a contiguous
@@ -34,7 +22,7 @@ struct SolveWorkspace {
 /// triple loop.
 Vector solve_passive(const Matrix& a, const Vector& b,
                      const std::vector<std::size_t>& passive,
-                     SolveWorkspace& ws) {
+                     NnlsWorkspace& ws) {
   const std::size_t k = passive.size();
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
@@ -90,6 +78,12 @@ void assert_feasible([[maybe_unused]] const Matrix& a,
 }  // namespace
 
 NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
+  NnlsWorkspace workspace;
+  return nnls(a, b, options, workspace);
+}
+
+NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options,
+                NnlsWorkspace& ws) {
   VN2_CHECK(a.rows() == b.size(), "nnls: A rows must match b size");
   const std::size_t n = a.cols();
   const std::size_t m = a.rows();
@@ -98,11 +92,15 @@ NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
 
   Vector x(n, 0.0);
   VN2_COUNT("nnls.solves");
-  std::vector<bool> in_passive(n, false);
-  std::vector<std::size_t> passive;
-  SolveWorkspace ws;
-  ws.ax = Vector(m);
-  ws.gradient = Vector(n);
+  // Warm-workspace reset: in_passive/passive re-assigned wholesale, the
+  // numeric buffers reshaped lazily (and fully overwritten before reads in
+  // the loop bodies below) — a warm solve is bit-identical to a cold one.
+  ws.in_passive.assign(n, false);
+  std::vector<bool>& in_passive = ws.in_passive;
+  ws.passive.clear();
+  std::vector<std::size_t>& passive = ws.passive;
+  if (ws.ax.size() != m) ws.ax = Vector(m);
+  if (ws.gradient.size() != n) ws.gradient = Vector(n);
 
   std::size_t iter = 0;
   for (; iter < max_iter; ++iter) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 
@@ -28,8 +29,32 @@ struct NnlsResult {
   bool converged;         ///< False only if the iteration cap was hit.
 };
 
+/// Reusable scratch for the Lawson–Hanson solver: the packed passive
+/// columns, Gram matrix, rhs and residual/gradient buffers, plus the
+/// active-set bookkeeping. One solve with a warm workspace is
+/// result-identical to a cold one — every buffer is fully overwritten (or
+/// re-assigned) before its first read — so callers doing many solves of
+/// the same shape (sink-side batch inference, benchmarks) amortize the
+/// allocations away without changing a single bit of output. Not
+/// thread-safe: use one workspace per concurrent solver (e.g. one per
+/// parallel_for chunk slot).
+struct NnlsWorkspace {
+  std::vector<double> packed;  ///< rows × |passive|, row-major gather of A.
+  Matrix gram;                 ///< |passive| × |passive|.
+  Vector rhs;
+  Vector ax;        ///< A·x (residual evaluation).
+  Vector gradient;  ///< w = Aᵀ(b − A·x).
+  std::vector<bool> in_passive;
+  std::vector<std::size_t> passive;
+};
+
 /// Lawson–Hanson active-set NNLS. Throws on shape mismatch.
 NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options = {});
+
+/// Workspace-reusing overload: identical results to the allocating one,
+/// with the scratch buffers recycled across calls.
+NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options,
+                NnlsWorkspace& workspace);
 
 struct ProjectedGradientOptions {
   double step_tolerance = 1e-10;

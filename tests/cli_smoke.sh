@@ -44,6 +44,33 @@ if "$VN2" stats --trace "$WORK/trace.csv" --linalg-backend turbo \
   echo "expected usage error for unknown linalg backend" >&2
   exit 1
 fi
+# Forcing the simd backend on unsupported hardware is a clean usage error,
+# not a crash. VN2_CPU_FEATURES=scalar masks cpuid, so this holds on any
+# build and any host (including ones where simd would otherwise engage).
+if VN2_CPU_FEATURES=scalar "$VN2" stats --trace "$WORK/trace.csv" \
+    --linalg-backend simd 2>"$WORK/simd_err.txt"; then
+  echo "expected usage error for forced simd on unsupported hardware" >&2
+  exit 1
+fi
+grep -q "linalg-backend simd" "$WORK/simd_err.txt"
+# --linalg-backend auto must always engage something runnable.
+"$VN2" diagnose --model "$WORK/model.vn2" --trace "$WORK/trace.csv" --top 3 \
+    --linalg-backend auto | grep -q "exceptions"
+# The streaming diagnose path: bounded batches, same verdict counts as the
+# one-shot path.
+"$VN2" diagnose --model "$WORK/model.vn2" --trace "$WORK/trace.csv" --top 3 \
+    > "$WORK/diag_batch.txt"
+"$VN2" diagnose --model "$WORK/model.vn2" --trace "$WORK/trace.csv" --top 3 \
+    --batch-size 16 > "$WORK/diag_stream.txt"
+grep -q "batches of 16" "$WORK/diag_stream.txt"
+BATCH_COUNT=$(sed -n 's/^\([0-9]*\) of .* states are exceptions.*/\1/p' \
+    "$WORK/diag_batch.txt")
+STREAM_COUNT=$(sed -n 's/^\([0-9]*\) of .* states are exceptions.*/\1/p' \
+    "$WORK/diag_stream.txt")
+if [ "$BATCH_COUNT" != "$STREAM_COUNT" ]; then
+  echo "stream/batch diagnose disagree: $BATCH_COUNT vs $STREAM_COUNT" >&2
+  exit 1
+fi
 # Error paths exit non-zero.
 if "$VN2" train --trace /nonexistent.csv --out "$WORK/x" 2>/dev/null; then
   echo "expected failure on missing trace" >&2

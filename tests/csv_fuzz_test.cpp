@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -20,6 +21,17 @@
 
 namespace vn2::trace {
 namespace {
+
+/// Iteration count for the seeded-mutation tests. The default keeps the
+/// suite fast for every tier-1 run; CI's fuzz smoke step raises it via
+/// VN2_CSV_FUZZ_ROUNDS to buy a deeper (still fixed-iteration,
+/// deterministic) sweep on a ~30 s budget.
+int fuzz_rounds(int fallback) {
+  const char* value = std::getenv("VN2_CSV_FUZZ_ROUNDS");
+  if (value == nullptr) return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
 
 /// Parses `text` as a trace CSV and, when it parses, runs the state
 /// extraction pipeline on the result. Any std::exception is the expected
@@ -100,7 +112,8 @@ TEST(CsvFuzz, MutatedValidTracesNeverCrash) {
   std::uniform_int_distribution<int> byte(0, 255);
   std::uniform_int_distribution<int> op(0, 3);
 
-  for (int round = 0; round < 300; ++round) {
+  const int rounds = fuzz_rounds(300);
+  for (int round = 0; round < rounds; ++round) {
     std::string mutated = base;
     const int edits = 1 + static_cast<int>(rng() % 8);
     for (int e = 0; e < edits; ++e) {
@@ -138,7 +151,8 @@ TEST(CsvFuzz, MutatedMatrixCsvNeverCrashes) {
     base = out.str();
   }
   std::mt19937_64 rng(0xA11);
-  for (int round = 0; round < 200; ++round) {
+  const int rounds = fuzz_rounds(200);
+  for (int round = 0; round < rounds; ++round) {
     std::string mutated = base;
     const std::size_t at = rng() % mutated.size();
     mutated[at] = static_cast<char>(rng() % 256);

@@ -396,6 +396,20 @@ TEST(Lint, AllocRuleOnlyAppliesToKernelsTu) {
   EXPECT_FALSE(rules_fired(findings).count("alloc-in-kernel"));
 }
 
+TEST(Lint, AllocRuleCoversSimdKernelsTu) {
+  // The simd backend TU is held to the same allocation-free standard as
+  // the scalar kernel TU.
+  const auto findings = lint_content("src/linalg/kernels_simd.cpp",
+                                     fixture("alloc_in_kernel.cpp"));
+  Anchors anchors;
+  for (const Finding& f : findings)
+    if (f.rule == "alloc-in-kernel") anchors.emplace_back(f.line, f.rule);
+  EXPECT_EQ(anchors,
+            (Anchors{{10, "alloc-in-kernel"},
+                     {11, "alloc-in-kernel"},
+                     {12, "alloc-in-kernel"}}));
+}
+
 TEST(Lint, ThrowAcrossParallelFires) {
   const auto findings =
       lint_content("src/core/bad.cpp", fixture("throw_across_parallel.cpp"));

@@ -24,6 +24,7 @@
 #include "core/parallel.hpp"
 #include "core/silence.hpp"
 #include "core/vn2.hpp"
+#include "linalg/cpu_features.hpp"
 #include "linalg/kernels.hpp"
 #include "scenario/scenario.hpp"
 #include "telemetry/sink.hpp"
@@ -83,6 +84,8 @@ int usage() {
       "                [--skip-extraction] --out model.vn2\n"
       "  vn2 inspect   --model model.vn2\n"
       "  vn2 diagnose  --model model.vn2 --trace trace.csv [--top K] [--all]\n"
+      "                [--batch-size N]  (stream states through bounded\n"
+      "                 batches of N instead of materializing everything)\n"
       "  vn2 incidents --model model.vn2 --trace trace.csv [--gap seconds]\n"
       "  vn2 silent    --trace trace.csv [--factor F]\n"
       "  vn2 stats     --trace trace.csv\n"
@@ -93,9 +96,11 @@ int usage() {
       "global options:\n"
       "  --threads N   thread budget for analysis/simulation hot paths\n"
       "                (default: hardware concurrency; 1 = fully serial)\n"
-      "  --linalg-backend auto|reference|blocked\n"
-      "                dense-kernel implementation (default auto: blocked\n"
-      "                when compiled in; results are identical either way)\n"
+      "  --linalg-backend auto|reference|blocked|simd\n"
+      "                dense-kernel implementation (auto picks the fastest\n"
+      "                the build and host CPU support: simd, else blocked,\n"
+      "                else reference; forcing simd on unsupported hardware\n"
+      "                is an error)\n"
       "  --telemetry FILE        write a telemetry snapshot (JSON) on exit\n"
       "  --telemetry-trace FILE  write spans as chrome://tracing JSON on "
       "exit\n");
@@ -288,6 +293,40 @@ int cmd_diagnose(const Args& args) {
   const auto states = load_states(trace_path);
   const auto top = static_cast<std::size_t>(args.number("top", 10));
   const bool all = args.flag("all");
+
+  // --batch-size N: the streaming path. States flow through
+  // core::diagnose_stream's bounded queue in batches of N; the sink keeps
+  // only the exceptions' (ε, index) pairs, and the shown ones are
+  // re-explained afterwards. Same ε ranking and output as the batch path,
+  // with memory bounded by the batch instead of the whole trace.
+  if (const auto batch_size =
+          static_cast<std::size_t>(args.number("batch-size", 0));
+      batch_size > 0) {
+    core::StreamOptions stream_options;
+    stream_options.batch_size = batch_size;
+    std::vector<std::pair<double, std::size_t>> found;
+    const core::StreamReport report = core::diagnose_stream(
+        tool.model(), trace::states_matrix(states), stream_options,
+        [&](std::size_t first, const std::vector<core::Diagnosis>& batch) {
+          for (std::size_t i = 0; i < batch.size(); ++i)
+            if (batch[i].is_exception)
+              found.emplace_back(batch[i].exception_score, first + i);
+        });
+    std::sort(found.rbegin(), found.rend());
+    std::size_t shown = 0;
+    for (const auto& [score, index] : found) {
+      if (!all && shown >= top) break;
+      const auto explanation = tool.explain(states[index].delta);
+      std::printf("node %u @ t=%.0fs: %s\n", states[index].node,
+                  states[index].time, explanation.text.c_str());
+      ++shown;
+    }
+    std::printf("\n%zu of %zu states are exceptions (%zu shown, "
+                "%zu batches of %zu)\n",
+                report.exceptions, report.states, shown, report.batches,
+                batch_size);
+    return 0;
+  }
 
   // Rank by ε score; print the top K (or every exception with --all).
   std::vector<std::pair<double, std::size_t>> ranked;
@@ -496,8 +535,20 @@ int main(int argc, char** argv) {
       if (!parsed.has_value()) {
         std::fprintf(stderr,
                      "vn2: unknown --linalg-backend '%s' "
-                     "(expected auto, reference, or blocked)\n",
+                     "(expected auto, reference, blocked, or simd)\n",
                      backend.c_str());
+        return 2;
+      }
+      // Forcing simd must fail loudly when this build/host cannot run it;
+      // "auto" (resolved inside parse_backend) never selects it in that
+      // case, and set_backend() would silently fall back.
+      if (*parsed == vn2::linalg::Backend::kSimd &&
+          !vn2::linalg::simd_available()) {
+        const char* reason = vn2::linalg::simd_kernels_compiled()
+                                 ? "host CPU lacks the required features"
+                                 : "this build compiled the simd kernels out";
+        std::fprintf(stderr, "vn2: --linalg-backend simd: %s (detected: %s)\n",
+                     reason, vn2::linalg::cpu_features_summary().c_str());
         return 2;
       }
       vn2::linalg::set_backend(*parsed);

@@ -591,11 +591,15 @@ void check_lock_in_parallel(const std::string& path, const TokenStream& src,
 
 /// alloc-in-kernel: the linalg kernel loops must be allocation-free —
 /// no new, no container growth, no Matrix temporaries. Buffers belong in
-/// the caller's workspace (see nmf::Workspace / nnls::SolveWorkspace).
+/// the caller's workspace (see nmf::Workspace / linalg::NnlsWorkspace).
+/// Applies to every kernel TU: the scalar backends (kernels.cpp) and the
+/// simd backend (kernels_simd.cpp).
 void check_alloc_in_kernel(const std::string& path, const TokenStream& src,
                            const BracketMap& brackets,
                            std::vector<Finding>& findings) {
-  if (path != "src/linalg/kernels.cpp") return;
+  if (path != "src/linalg/kernels.cpp" &&
+      path != "src/linalg/kernels_simd.cpp")
+    return;
   static const std::set<std::string> kGrowth = {
       "push_back", "emplace_back", "resize", "reserve", "insert"};
   std::set<std::size_t> flagged;  // token indices, deduped across nests
