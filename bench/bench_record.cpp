@@ -1,0 +1,96 @@
+#include "bench_record.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "linalg/cpu_features.hpp"
+#include "telemetry/resource.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry_support.hpp"
+
+namespace vn2::bench_support {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+std::string env_string(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr || *value == '\0' ? fallback : value;
+}
+
+}  // namespace
+
+std::size_t bench_reps() {
+  const double reps = env_double("VN2_BENCH_REPS", 3.0);
+  return reps < 1.0 ? 1 : static_cast<std::size_t>(reps);
+}
+
+std::size_t scaled_size(std::size_t base, std::size_t floor) {
+  const double days = env_double("VN2_BENCH_DAYS", 7.0);
+  if (days <= 0.0 || days >= 7.0) return base;
+  const auto scaled =
+      static_cast<std::size_t>(static_cast<double>(base) * days / 7.0);
+  return std::max(scaled, floor);
+}
+
+benchstat::Record make_record(std::string bench, std::string workload) {
+  benchstat::Record record;
+  record.bench = std::move(bench);
+  record.workload = std::move(workload);
+  record.provenance.git_sha = env_string("VN2_GIT_SHA", "unknown");
+  record.provenance.timestamp = env_string("VN2_BENCH_TIMESTAMP", "");
+  record.provenance.bench_days = env_double("VN2_BENCH_DAYS", 0.0);
+  record.provenance.reps = bench_reps();
+  record.environment.cpu_features = linalg::cpu_features_summary();
+  record.environment.hardware_concurrency =
+      std::thread::hardware_concurrency();
+  record.environment.threads = std::thread::hardware_concurrency();
+  record.environment.telemetry_compiled = telemetry::kCompiledIn;
+  return record;
+}
+
+bool write_record_file(const char* path, benchstat::Record& record) {
+  const telemetry::ResourceUsage usage = telemetry::sample_resources();
+  record.resources.peak_rss_bytes = usage.peak_rss_bytes;
+  record.resources.current_rss_bytes = usage.current_rss_bytes;
+  record.resources.cpu_user_ns = usage.cpu_user_ns;
+  record.resources.cpu_system_ns = usage.cpu_system_ns;
+  // Workspace-allocation counters make heap churn on the hot paths
+  // visible across runs (warm workspaces allocate strictly less than
+  // cold ones); with telemetry compiled out the snapshot is empty and
+  // the fields stay 0 ("unknown").
+  const telemetry::Snapshot snapshot =
+      telemetry::Registry::global().snapshot();
+  record.resources.alloc_count = 0;
+  record.resources.alloc_bytes = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.size() > 9 && name.rfind(".reallocs") == name.size() - 9)
+      record.resources.alloc_count += value;
+    if (name.size() > 12 && name.rfind(".alloc_bytes") == name.size() - 12)
+      record.resources.alloc_bytes += value;
+  }
+  record.telemetry_json = telemetry_snapshot_json();
+  telemetry::StringSink sink;
+  benchstat::write_record(sink, record);
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench-record: cannot open %s\n", path);
+    return false;
+  }
+  std::fputs(sink.str().c_str(), out);
+  std::fclose(out);
+  std::printf("bench-record: %s\n", path);
+  return true;
+}
+
+}  // namespace vn2::bench_support

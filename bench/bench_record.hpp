@@ -1,0 +1,40 @@
+// Bench-layer glue for the performance observatory: fills a
+// benchstat::Record with provenance/environment from the harness
+// environment variables, and owns the file IO that the benchstat library
+// (like the telemetry library) deliberately does not do.
+//
+// Harness contract — all optional, all recorded verbatim:
+//   VN2_GIT_SHA          commit the binary was built from
+//   VN2_BENCH_TIMESTAMP  ISO-8601 stamp chosen by the harness (the bench
+//                        itself never reads wall-clock time-of-day)
+//   VN2_BENCH_DAYS       scenario scale shared with the figure benches
+//   VN2_BENCH_REPS       samples per timed section (default 3, min 1)
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "benchstat/record.hpp"
+
+namespace vn2::bench_support {
+
+/// Repetitions each timed section should run (VN2_BENCH_REPS, default 3).
+[[nodiscard]] std::size_t bench_reps();
+
+/// Scales a workload size by VN2_BENCH_DAYS / 7 (the experiment benches'
+/// convention: 7 days = full paper scale), clamped below at `floor` so a
+/// quick run still exercises the real code paths. Unset → `base`.
+[[nodiscard]] std::size_t scaled_size(std::size_t base, std::size_t floor);
+
+/// A record pre-filled with schema version, provenance, and environment;
+/// the bench fills scale/cases/checks and calls write_record_file.
+[[nodiscard]] benchstat::Record make_record(std::string bench,
+                                            std::string workload);
+
+/// Samples process resources + workspace-allocation counters, embeds the
+/// telemetry snapshot, writes the record to `path`, and prints the usual
+/// "bench-record: path" breadcrumb. Returns false when the file cannot
+/// be opened.
+bool write_record_file(const char* path, benchstat::Record& record);
+
+}  // namespace vn2::bench_support

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "bench_record.hpp"
+#include "benchstat/record.hpp"
 #include "core/inference.hpp"
 #include "core/model.hpp"
 #include "core/parallel.hpp"
@@ -124,7 +126,8 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 // Serial-vs-parallel batch diagnosis: the per-state NNLS solves across the
 // worker pool, with a weight-identity check between the two runs.
 void run_parallel_report(const char* json_path) {
-  const std::size_t batch = 2000;
+  // Batch size scales with VN2_BENCH_DAYS (7 = full paper scale).
+  const std::size_t batch = vn2::bench_support::scaled_size(2000, 200);
   const TrainingReport report = trained_model(25);
   const Matrix probes = vn2::testing::synthetic_states(batch, 6);
 
@@ -132,56 +135,70 @@ void run_parallel_report(const char* json_path) {
       1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
   const std::size_t parallel_threads = std::max<std::size_t>(4, hardware);
 
-  vn2::core::set_num_threads(1);
-  // vn2-lint: allow(nondeterminism-clock)
-  auto start = std::chrono::steady_clock::now();
-  const auto serial = vn2::core::diagnose_batch(report.model, probes);
-  const double serial_seconds = seconds_since(start);
+  const std::size_t reps = vn2::bench_support::bench_reps();
+  std::vector<double> serial_samples, parallel_samples, speedup_samples;
+  bool identical = true;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    vn2::core::set_num_threads(1);
+    // vn2-lint: allow(nondeterminism-clock)
+    auto start = std::chrono::steady_clock::now();
+    const auto serial = vn2::core::diagnose_batch(report.model, probes);
+    serial_samples.push_back(seconds_since(start));
 
-  vn2::core::set_num_threads(parallel_threads);
-  // vn2-lint: allow(nondeterminism-clock)
-  start = std::chrono::steady_clock::now();
-  const auto parallel = vn2::core::diagnose_batch(report.model, probes);
-  const double parallel_seconds = seconds_since(start);
+    vn2::core::set_num_threads(parallel_threads);
+    // vn2-lint: allow(nondeterminism-clock)
+    start = std::chrono::steady_clock::now();
+    const auto parallel = vn2::core::diagnose_batch(report.model, probes);
+    parallel_samples.push_back(seconds_since(start));
+    speedup_samples.push_back(parallel_samples.back() > 0.0
+                                  ? serial_samples.back() /
+                                        parallel_samples.back()
+                                  : 0.0);
+
+    if (rep == 0) {
+      identical = serial.size() == parallel.size();
+      for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+        identical = serial[i].residual == parallel[i].residual &&
+                    serial[i].weights.size() == parallel[i].weights.size();
+        for (std::size_t r = 0; identical && r < serial[i].weights.size();
+             ++r)
+          identical = serial[i].weights[r] == parallel[i].weights[r];
+      }
+    }
+  }
   vn2::core::set_num_threads(0);
 
-  bool identical = serial.size() == parallel.size();
-  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
-    identical = serial[i].residual == parallel[i].residual &&
-                serial[i].weights.size() == parallel[i].weights.size();
-    for (std::size_t r = 0; identical && r < serial[i].weights.size(); ++r)
-      identical = serial[i].weights[r] == parallel[i].weights[r];
-  }
-
-  const double speedup =
-      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
   std::printf("diagnose_batch of %zu states (r=25): serial %.3fs, "
-              "%zu threads %.3fs, speedup %.2fx, weights %s\n",
-              batch, serial_seconds, parallel_threads, parallel_seconds,
-              speedup, identical ? "identical" : "DIVERGED");
+              "%zu threads %.3fs, speedup %.2fx (medians of %zu), "
+              "weights %s\n",
+              batch, vn2::benchstat::summarize(serial_samples).median,
+              parallel_threads,
+              vn2::benchstat::summarize(parallel_samples).median,
+              vn2::benchstat::summarize(speedup_samples).median, reps,
+              identical ? "identical" : "DIVERGED");
 
-  std::FILE* out = std::fopen(json_path, "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"diagnose_batch\",\n"
-               "  \"batch\": %zu,\n"
-               "  \"rank\": 25,\n"
-               "  \"hardware_concurrency\": %zu,\n"
-               "  \"serial\": {\"threads\": 1, \"seconds\": %.6f},\n"
-               "  \"parallel\": {\"threads\": %zu, \"seconds\": %.6f},\n"
-               "  \"speedup\": %.4f,\n"
-               "  \"bit_identical\": %s,\n"
-               "  \"telemetry\": %s\n"
-               "}\n",
-               batch, hardware, serial_seconds, parallel_threads,
-               parallel_seconds, speedup, identical ? "true" : "false",
-               vn2::bench_support::telemetry_snapshot_json().c_str());
-  std::fclose(out);
-  std::printf("parallel report -> %s\n", json_path);
+  auto record = vn2::bench_support::make_record(
+      "diagnose_batch",
+      "serial vs parallel diagnose_batch of 2000 states, r=25");
+  record.environment.threads = parallel_threads;
+  record.scale = {{"batch", static_cast<double>(batch)},
+                  {"rank", 25.0},
+                  {"parallel_threads", static_cast<double>(parallel_threads)}};
+  record.cases.push_back(
+      {"serial",
+       {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                    serial_samples)}});
+  record.cases.push_back(
+      {"parallel",
+       {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                    parallel_samples)}});
+  // Core-count-dependent, therefore informational rather than gated.
+  record.cases.push_back(
+      {"parallel_vs_serial",
+       {vn2::benchstat::make_metric("speedup", "x", false, false,
+                                    speedup_samples)}});
+  record.checks.push_back({"diagnose_batch_bit_identical", identical});
+  vn2::bench_support::write_record_file(json_path, record);
 }
 
 // Per-backend serial diagnosis: the whole diagnose path (NNLS against Ψᵀ)
@@ -191,27 +208,34 @@ void run_parallel_report(const char* json_path) {
 // weight. The JSON header records the detected CPU features.
 void run_linalg_backend_report(const char* json_path) {
   using vn2::linalg::Backend;
-  const std::size_t batch = 1000;
+  // The per-backend speedup ratios are gated; the floor keeps each timed
+  // phase long enough (hundreds of ms) that the ratio is stable run to
+  // run even at quick scale.
+  const std::size_t batch = vn2::bench_support::scaled_size(1000, 400);
   const TrainingReport report = trained_model(25);
   const Matrix probes = vn2::testing::synthetic_states(batch, 6);
 
   vn2::core::set_num_threads(1);
-  auto run_with = [&](Backend be, double* seconds) {
+  const std::size_t reps = vn2::bench_support::bench_reps();
+  auto run_with = [&](Backend be, std::vector<double>* samples) {
     vn2::linalg::set_backend(be);
-    // vn2-lint: allow(nondeterminism-clock)
-    const auto start = std::chrono::steady_clock::now();
-    auto diagnoses = vn2::core::diagnose_batch(report.model, probes);
-    *seconds = seconds_since(start);
+    std::vector<vn2::core::Diagnosis> diagnoses;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      // vn2-lint: allow(nondeterminism-clock)
+      const auto start = std::chrono::steady_clock::now();
+      diagnoses = vn2::core::diagnose_batch(report.model, probes);
+      samples->push_back(seconds_since(start));
+    }
     return diagnoses;
   };
   std::vector<Backend> backends = {Backend::kReference};
   if (vn2::linalg::blocked_kernels_compiled())
     backends.push_back(Backend::kBlocked);
   if (vn2::linalg::simd_available()) backends.push_back(Backend::kSimd);
-  std::vector<double> seconds(backends.size(), 0.0);
+  std::vector<std::vector<double>> samples(backends.size());
   std::vector<std::vector<vn2::core::Diagnosis>> results;
   for (std::size_t k = 0; k < backends.size(); ++k)
-    results.push_back(run_with(backends[k], &seconds[k]));
+    results.push_back(run_with(backends[k], &samples[k]));
   vn2::core::set_num_threads(0);
   vn2::linalg::set_backend(vn2::linalg::parse_backend("auto").value());
 
@@ -236,19 +260,30 @@ void run_linalg_backend_report(const char* json_path) {
   }
   const bool within_tolerance = max_rel_dev <= 1e-12;
 
-  std::string json_rows;
-  char line[128];
+  auto median_of = [](const std::vector<double>& values) {
+    return values.empty() ? 0.0 : vn2::benchstat::summarize(values).median;
+  };
+  // Rep-paired ratios (same index in both sample sets) cancel shared
+  // machine noise, which is what makes these gateable.
+  auto ratio_samples = [&](std::size_t fast, std::size_t slow) {
+    std::vector<double> out;
+    const std::size_t n =
+        std::min(samples[fast].size(), samples[slow].size());
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(samples[fast][i] > 0.0
+                        ? samples[slow][i] / samples[fast][i]
+                        : 0.0);
+    return out;
+  };
   for (std::size_t k = 0; k < backends.size(); ++k) {
     const char* name = vn2::linalg::backend_name(backends[k]);
     std::printf("diagnose_batch of %zu states (r=25, 1 thread): %-9s %.3fs"
-                " (%.2fx vs reference)\n",
-                batch, name, seconds[k],
-                seconds[k] > 0.0 ? seconds[0] / seconds[k] : 0.0);
-    std::snprintf(line, sizeof(line),
-                  "    {\"backend\": \"%s\", \"threads\": 1, "
-                  "\"seconds\": %.6f}%s\n",
-                  name, seconds[k], k + 1 < backends.size() ? "," : "");
-    json_rows += line;
+                " (%.2fx vs reference, medians of %zu)\n",
+                batch, name, median_of(samples[k]),
+                median_of(samples[k]) > 0.0
+                    ? median_of(samples[0]) / median_of(samples[k])
+                    : 0.0,
+                reps);
   }
   std::printf("diagnose_batch backends [cpu %s]: weights %s, max relative "
               "deviation %.3e (%s 1e-12)\n",
@@ -256,34 +291,30 @@ void run_linalg_backend_report(const char* json_path) {
               scalar_identical ? "identical" : "DIVERGED", max_rel_dev,
               within_tolerance ? "within" : "EXCEEDS");
 
-  std::FILE* out = std::fopen(json_path, "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return;
+  auto record = vn2::bench_support::make_record(
+      "diagnose_batch_backends",
+      "serial diagnose_batch of 1000 states, r=25, per compiled backend");
+  record.environment.threads = 1;
+  record.scale = {{"batch", static_cast<double>(batch)},
+                  {"rank", 25.0},
+                  {"backends", static_cast<double>(backends.size())}};
+  for (std::size_t k = 0; k < backends.size(); ++k)
+    record.cases.push_back(
+        {std::string(vn2::linalg::backend_name(backends[k])),
+         {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                      samples[k])}});
+  vn2::benchstat::Case ratios{"ratios", {}};
+  for (std::size_t k = 1; k < backends.size(); ++k) {
+    const std::string name = vn2::linalg::backend_name(backends[k]);
+    ratios.metrics.push_back(vn2::benchstat::make_metric(
+        name + "_speedup_over_reference", "x", false, true,
+        ratio_samples(k, 0)));
   }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"diagnose_batch_backends\",\n"
-               "  \"batch\": %zu,\n"
-               "  \"rank\": 25,\n"
-               "  \"cpu_features\": \"%s\",\n"
-               "  \"blocked_compiled\": %s,\n"
-               "  \"simd_compiled\": %s,\n"
-               "  \"simd_available\": %s,\n"
-               "  \"rows\": [\n%s"
-               "  ],\n"
-               "  \"scalar_backends_bit_identical\": %s,\n"
-               "  \"max_relative_deviation\": %.6e,\n"
-               "  \"within_parity_tolerance\": %s\n"
-               "}\n",
-               batch, vn2::linalg::cpu_features_summary().c_str(),
-               vn2::linalg::blocked_kernels_compiled() ? "true" : "false",
-               vn2::linalg::simd_kernels_compiled() ? "true" : "false",
-               vn2::linalg::simd_available() ? "true" : "false",
-               json_rows.c_str(), scalar_identical ? "true" : "false",
-               max_rel_dev, within_tolerance ? "true" : "false");
-  std::fclose(out);
-  std::printf("linalg backend report -> %s\n", json_path);
+  record.cases.push_back(std::move(ratios));
+  record.checks.push_back(
+      {"scalar_backends_bit_identical", scalar_identical});
+  record.checks.push_back({"within_parity_tolerance", within_tolerance});
+  vn2::bench_support::write_record_file(json_path, record);
 }
 
 // One-shot diagnose_batch vs chunked diagnose_stream on a sink-scale state
@@ -292,7 +323,7 @@ void run_linalg_backend_report(const char* json_path) {
 // use the same thread budget, so the delta isolates the streaming overhead
 // (or gain, from workspace reuse).
 void run_stream_report(const char* json_path) {
-  const std::size_t total = 20000;
+  const std::size_t total = vn2::bench_support::scaled_size(20000, 2000);
   const TrainingReport report = trained_model(25);
   const Matrix probes = vn2::testing::synthetic_states(total, 6);
 
@@ -301,74 +332,86 @@ void run_stream_report(const char* json_path) {
   const std::size_t threads = std::max<std::size_t>(4, hardware);
   vn2::core::set_num_threads(threads);
 
-  // vn2-lint: allow(nondeterminism-clock)
-  auto start = std::chrono::steady_clock::now();
-  const auto one_shot = vn2::core::diagnose_batch(report.model, probes);
-  const double batch_seconds = seconds_since(start);
-
   vn2::core::StreamOptions options;
   options.batch_size = 2048;
-  std::vector<vn2::core::Diagnosis> streamed;
-  streamed.reserve(total);
-  // vn2-lint: allow(nondeterminism-clock)
-  start = std::chrono::steady_clock::now();
-  const auto stream_report = vn2::core::diagnose_stream(
-      report.model, probes, options,
-      [&](std::size_t, const std::vector<vn2::core::Diagnosis>& chunk) {
-        streamed.insert(streamed.end(), chunk.begin(), chunk.end());
-      });
-  const double stream_seconds = seconds_since(start);
+  const std::size_t reps = vn2::bench_support::bench_reps();
+  std::vector<double> batch_samples, stream_samples, speedup_samples;
+  bool identical = true;
+  std::size_t batches = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    // vn2-lint: allow(nondeterminism-clock)
+    auto start = std::chrono::steady_clock::now();
+    const auto one_shot = vn2::core::diagnose_batch(report.model, probes);
+    batch_samples.push_back(seconds_since(start));
+
+    std::vector<vn2::core::Diagnosis> streamed;
+    streamed.reserve(total);
+    // vn2-lint: allow(nondeterminism-clock)
+    start = std::chrono::steady_clock::now();
+    const auto stream_report = vn2::core::diagnose_stream(
+        report.model, probes, options,
+        [&](std::size_t, const std::vector<vn2::core::Diagnosis>& chunk) {
+          streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+        });
+    stream_samples.push_back(seconds_since(start));
+    speedup_samples.push_back(stream_samples.back() > 0.0
+                                  ? batch_samples.back() /
+                                        stream_samples.back()
+                                  : 0.0);
+
+    if (rep == 0) {
+      batches = stream_report.batches;
+      identical = one_shot.size() == streamed.size();
+      for (std::size_t i = 0; identical && i < one_shot.size(); ++i) {
+        identical = one_shot[i].residual == streamed[i].residual &&
+                    one_shot[i].weights.size() == streamed[i].weights.size();
+        for (std::size_t r = 0; identical && r < one_shot[i].weights.size();
+             ++r)
+          identical = one_shot[i].weights[r] == streamed[i].weights[r];
+      }
+    }
+  }
   vn2::core::set_num_threads(0);
 
-  bool identical = one_shot.size() == streamed.size();
-  for (std::size_t i = 0; identical && i < one_shot.size(); ++i) {
-    identical = one_shot[i].residual == streamed[i].residual &&
-                one_shot[i].weights.size() == streamed[i].weights.size();
-    for (std::size_t r = 0; identical && r < one_shot[i].weights.size(); ++r)
-      identical = one_shot[i].weights[r] == streamed[i].weights[r];
-  }
-
-  const double batch_rate = batch_seconds > 0.0 ? total / batch_seconds : 0.0;
-  const double stream_rate =
-      stream_seconds > 0.0 ? total / stream_seconds : 0.0;
-  const double speedup =
-      stream_seconds > 0.0 ? batch_seconds / stream_seconds : 0.0;
+  const double batch_median =
+      vn2::benchstat::summarize(batch_samples).median;
+  const double stream_median =
+      vn2::benchstat::summarize(stream_samples).median;
   std::printf("diagnose_stream of %zu states (r=25, %zu threads, batches of "
               "%zu): one-shot %.3fs (%.0f/s), stream %.3fs (%.0f/s), "
-              "%.2fx, %zu batches, outputs %s\n",
-              total, threads, options.batch_size, batch_seconds, batch_rate,
-              stream_seconds, stream_rate, speedup, stream_report.batches,
-              identical ? "identical" : "DIVERGED");
+              "%.2fx (medians of %zu), %zu batches, outputs %s\n",
+              total, threads, options.batch_size, batch_median,
+              batch_median > 0.0 ? total / batch_median : 0.0, stream_median,
+              stream_median > 0.0 ? total / stream_median : 0.0,
+              vn2::benchstat::summarize(speedup_samples).median, reps,
+              batches, identical ? "identical" : "DIVERGED");
 
-  std::FILE* out = std::fopen(json_path, "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"diagnose_stream\",\n"
-               "  \"states\": %zu,\n"
-               "  \"rank\": 25,\n"
-               "  \"threads\": %zu,\n"
-               "  \"batch_size\": %zu,\n"
-               "  \"batches\": %zu,\n"
-               "  \"rows\": [\n"
-               "    {\"path\": \"diagnose_batch\", \"seconds\": %.6f, "
-               "\"states_per_second\": %.1f},\n"
-               "    {\"path\": \"diagnose_stream\", \"seconds\": %.6f, "
-               "\"states_per_second\": %.1f}\n"
-               "  ],\n"
-               "  \"stream_speedup\": %.4f,\n"
-               "  \"bit_identical\": %s,\n"
-               "  \"telemetry\": %s\n"
-               "}\n",
-               total, threads, options.batch_size, stream_report.batches,
-               batch_seconds, batch_rate, stream_seconds, stream_rate,
-               speedup, identical ? "true" : "false",
-               vn2::bench_support::telemetry_snapshot_json().c_str());
-  std::fclose(out);
-  std::printf("stream report -> %s\n", json_path);
+  auto record = vn2::bench_support::make_record(
+      "diagnose_stream",
+      "one-shot diagnose_batch vs chunked diagnose_stream over a "
+      "sink-scale state stream, r=25");
+  record.environment.threads = threads;
+  record.scale = {{"states", static_cast<double>(total)},
+                  {"rank", 25.0},
+                  {"threads", static_cast<double>(threads)},
+                  {"batch_size", static_cast<double>(options.batch_size)},
+                  {"batches", static_cast<double>(batches)}};
+  record.cases.push_back(
+      {"diagnose_batch",
+       {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                    batch_samples)}});
+  record.cases.push_back(
+      {"diagnose_stream",
+       {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                    stream_samples)}});
+  // Both paths share the thread budget, so their ratio is core-count
+  // independent and safe to gate.
+  record.cases.push_back(
+      {"stream_vs_batch",
+       {vn2::benchstat::make_metric("stream_speedup", "x", false, true,
+                                    speedup_samples)}});
+  record.checks.push_back({"diagnose_stream_bit_identical", identical});
+  vn2::bench_support::write_record_file(json_path, record);
 }
 
 }  // namespace

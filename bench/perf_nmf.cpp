@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "bench_record.hpp"
+#include "benchstat/record.hpp"
 #include "core/parallel.hpp"
 #include "linalg/cpu_features.hpp"
 #include "linalg/kernels.hpp"
@@ -123,10 +125,12 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }
 
 // Serial-vs-parallel rank sweep on a CitySee-scale exceptions matrix. The
-// sweep must be bit-identical at every thread count; the JSON records both
-// the wall-clock numbers and that check.
+// sweep must be bit-identical at every thread count; the record carries
+// per-rep samples for both configurations plus that check.
 void run_parallel_report(const char* json_path) {
-  const std::size_t rows = 2000, cols = 86;
+  // Row count scales with VN2_BENCH_DAYS (7 = full CitySee scale).
+  const std::size_t rows = vn2::bench_support::scaled_size(2000, 200);
+  const std::size_t cols = 86;
   const Matrix e = exceptions_like(rows, cols, 7);
   const std::vector<std::size_t> ranks = {5, 10, 15, 20, 25, 30};
   vn2::nmf::RankSweepOptions options;
@@ -137,66 +141,87 @@ void run_parallel_report(const char* json_path) {
   const std::size_t hardware = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
   const std::size_t parallel_threads = std::max<std::size_t>(4, hardware);
+  const std::size_t reps = vn2::bench_support::bench_reps();
 
-  vn2::core::set_num_threads(1);
-  // vn2-lint: allow(nondeterminism-clock)
-  auto start = std::chrono::steady_clock::now();
-  const auto serial_sweep = vn2::nmf::rank_sweep(e, ranks, options);
-  const double serial_seconds = seconds_since(start);
-  const auto serial_choice = vn2::nmf::choose_rank(serial_sweep);
+  std::vector<double> serial_samples, parallel_samples, speedup_samples;
+  bool identical = true;
+  std::size_t chosen_rank = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    vn2::core::set_num_threads(1);
+    // vn2-lint: allow(nondeterminism-clock)
+    auto start = std::chrono::steady_clock::now();
+    const auto serial_sweep = vn2::nmf::rank_sweep(e, ranks, options);
+    serial_samples.push_back(seconds_since(start));
+    const auto serial_choice = vn2::nmf::choose_rank(serial_sweep);
 
-  vn2::core::set_num_threads(parallel_threads);
-  // vn2-lint: allow(nondeterminism-clock)
-  start = std::chrono::steady_clock::now();
-  const auto parallel_sweep = vn2::nmf::rank_sweep(e, ranks, options);
-  const double parallel_seconds = seconds_since(start);
-  const auto parallel_choice = vn2::nmf::choose_rank(parallel_sweep);
+    vn2::core::set_num_threads(parallel_threads);
+    // vn2-lint: allow(nondeterminism-clock)
+    start = std::chrono::steady_clock::now();
+    const auto parallel_sweep = vn2::nmf::rank_sweep(e, ranks, options);
+    parallel_samples.push_back(seconds_since(start));
+    const auto parallel_choice = vn2::nmf::choose_rank(parallel_sweep);
+    speedup_samples.push_back(parallel_samples.back() > 0.0
+                                  ? serial_samples.back() /
+                                        parallel_samples.back()
+                                  : 0.0);
+
+    // The bit-identity check is deterministic; one rep suffices.
+    if (rep == 0) {
+      chosen_rank = parallel_choice.rank;
+      identical = serial_sweep.size() == parallel_sweep.size() &&
+                  serial_choice.rank == parallel_choice.rank &&
+                  serial_choice.sweep_index == parallel_choice.sweep_index;
+      for (std::size_t i = 0; identical && i < serial_sweep.size(); ++i)
+        identical = serial_sweep[i].rank == parallel_sweep[i].rank &&
+                    serial_sweep[i].accuracy_original ==
+                        parallel_sweep[i].accuracy_original &&
+                    serial_sweep[i].accuracy_sparse ==
+                        parallel_sweep[i].accuracy_sparse;
+    }
+  }
   vn2::core::set_num_threads(0);
 
-  bool identical = serial_sweep.size() == parallel_sweep.size() &&
-                   serial_choice.rank == parallel_choice.rank &&
-                   serial_choice.sweep_index == parallel_choice.sweep_index;
-  for (std::size_t i = 0; identical && i < serial_sweep.size(); ++i)
-    identical = serial_sweep[i].rank == parallel_sweep[i].rank &&
-                serial_sweep[i].accuracy_original ==
-                    parallel_sweep[i].accuracy_original &&
-                serial_sweep[i].accuracy_sparse ==
-                    parallel_sweep[i].accuracy_sparse;
-
-  const double speedup =
-      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  const double serial_median =
+      vn2::benchstat::summarize(serial_samples).median;
+  const double parallel_median =
+      vn2::benchstat::summarize(parallel_samples).median;
+  const double speedup_median =
+      vn2::benchstat::summarize(speedup_samples).median;
   std::printf("rank_sweep %zux%zu over ranks {5,10,15,20,25,30}: "
-              "serial %.2fs, %zu threads %.2fs, speedup %.2fx, "
-              "choose_rank %s (r=%zu)\n",
-              rows, cols, serial_seconds, parallel_threads, parallel_seconds,
-              speedup, identical ? "identical" : "DIVERGED",
-              parallel_choice.rank);
+              "serial %.2fs, %zu threads %.2fs, speedup %.2fx "
+              "(medians of %zu), choose_rank %s (r=%zu)\n",
+              rows, cols, serial_median, parallel_threads, parallel_median,
+              speedup_median, reps, identical ? "identical" : "DIVERGED",
+              chosen_rank);
 
-  std::FILE* out = std::fopen(json_path, "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"rank_sweep\",\n"
-               "  \"matrix\": {\"rows\": %zu, \"cols\": %zu},\n"
-               "  \"ranks\": [5, 10, 15, 20, 25, 30],\n"
-               "  \"nmf_iterations\": %zu,\n"
-               "  \"hardware_concurrency\": %zu,\n"
-               "  \"serial\": {\"threads\": 1, \"seconds\": %.6f},\n"
-               "  \"parallel\": {\"threads\": %zu, \"seconds\": %.6f},\n"
-               "  \"speedup\": %.4f,\n"
-               "  \"chosen_rank\": %zu,\n"
-               "  \"bit_identical\": %s,\n"
-               "  \"telemetry\": %s\n"
-               "}\n",
-               rows, cols, options.nmf.max_iterations, hardware,
-               serial_seconds, parallel_threads, parallel_seconds, speedup,
-               parallel_choice.rank, identical ? "true" : "false",
-               vn2::bench_support::telemetry_snapshot_json().c_str());
-  std::fclose(out);
-  std::printf("parallel report -> %s\n", json_path);
+  auto record = vn2::bench_support::make_record(
+      "rank_sweep",
+      "serial vs parallel rank_sweep over ranks {5,10,15,20,25,30}, "
+      "60 NMF iterations");
+  record.environment.threads = parallel_threads;
+  record.scale = {{"rows", static_cast<double>(rows)},
+                  {"cols", static_cast<double>(cols)},
+                  {"ranks", static_cast<double>(ranks.size())},
+                  {"nmf_iterations",
+                   static_cast<double>(options.nmf.max_iterations)},
+                  {"parallel_threads", static_cast<double>(parallel_threads)},
+                  {"chosen_rank", static_cast<double>(chosen_rank)}};
+  record.cases.push_back(
+      {"serial",
+       {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                    serial_samples)}});
+  record.cases.push_back(
+      {"parallel",
+       {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                    parallel_samples)}});
+  // Core-count-dependent, so informational rather than gated: a 4-core CI
+  // runner must not fail a baseline recorded on 16 cores.
+  record.cases.push_back(
+      {"parallel_vs_serial",
+       {vn2::benchstat::make_metric("speedup", "x", false, false,
+                                    speedup_samples)}});
+  record.checks.push_back({"rank_sweep_bit_identical", identical});
+  vn2::bench_support::write_record_file(json_path, record);
 }
 
 // Kernel backends head-to-head on the two linalg hot paths: a CitySee-scale
@@ -209,26 +234,28 @@ void run_parallel_report(const char* json_path) {
 // from different machines stay comparable.
 void run_linalg_backend_report(const char* json_path) {
   using vn2::linalg::Backend;
-  const Matrix e = exceptions_like(2000, 86, 7);
+  // The backend speedup ratios are gated; the floor keeps each factorize
+  // long enough that the ratio stays stable run to run at quick scale.
+  const std::size_t fac_rows = vn2::bench_support::scaled_size(2000, 500);
+  const Matrix e = exceptions_like(fac_rows, 86, 7);
   vn2::nmf::NmfOptions options;
   options.max_iterations = 60;
   options.relative_tolerance = 0.0;  // Fixed work for comparability.
   options.record_objective = false;
 
+  const std::size_t reps = vn2::bench_support::bench_reps();
   auto time_factorize = [&](Backend be, std::size_t threads,
-                            double* objective) {
+                            std::vector<double>* samples, double* objective) {
     vn2::linalg::set_backend(be);
     vn2::core::set_num_threads(threads);
-    double best = std::numeric_limits<double>::infinity();
-    for (int rep = 0; rep < 2; ++rep) {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
       const std::uint64_t t0 = vn2::telemetry::monotonic_ns();
       auto result = vn2::nmf::factorize(e, 25, options);
-      best = std::min(
-          best, static_cast<double>(vn2::telemetry::monotonic_ns() - t0) / 1e9);
+      samples->push_back(
+          static_cast<double>(vn2::telemetry::monotonic_ns() - t0) / 1e9);
       *objective = result.approximation_accuracy(e);
       benchmark::DoNotOptimize(result.psi.data());
     }
-    return best;
   };
 
   // NNLS: diagnose-shaped solves against A = Ψᵀ (86×25) — the SYRK/GEMV
@@ -236,11 +263,11 @@ void run_linalg_backend_report(const char* json_path) {
   const Matrix psi_t =
       vn2::linalg::random_uniform_matrix(86, 25, 13, 0.05, 1.0);
   const std::size_t nnls_batch = 400;
-  auto time_nnls = [&](Backend be, double* checksum) {
+  auto time_nnls = [&](Backend be, std::vector<double>* samples,
+                       double* checksum) {
     vn2::linalg::set_backend(be);
     vn2::core::set_num_threads(1);
-    double best = std::numeric_limits<double>::infinity();
-    for (int rep = 0; rep < 2; ++rep) {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
       double acc = 0.0;
       const std::uint64_t t0 = vn2::telemetry::monotonic_ns();
       for (std::size_t i = 0; i < nnls_batch; ++i) {
@@ -249,11 +276,10 @@ void run_linalg_backend_report(const char* json_path) {
         const auto solution = vn2::linalg::nnls(psi_t, b);
         acc += solution.residual_norm;
       }
-      best = std::min(
-          best, static_cast<double>(vn2::telemetry::monotonic_ns() - t0) / 1e9);
+      samples->push_back(
+          static_cast<double>(vn2::telemetry::monotonic_ns() - t0) / 1e9);
       *checksum = acc;
     }
-    return best;
   };
 
   const std::size_t hardware = std::max<std::size_t>(
@@ -262,21 +288,22 @@ void run_linalg_backend_report(const char* json_path) {
 
   struct Row {
     Backend backend;
-    double fac_1t = 0.0, fac_mt = 0.0, nnls_1t = 0.0;
+    std::vector<double> fac_1t, fac_mt, nnls_1t;
     double obj_1t = 0.0, obj_mt = 0.0, nnls_sum = 0.0;
   };
   std::vector<Row> rows;
-  rows.push_back({Backend::kReference});
+  rows.push_back({Backend::kReference, {}, {}, {}, 0.0, 0.0, 0.0});
   if (vn2::linalg::blocked_kernels_compiled())
-    rows.push_back({Backend::kBlocked});
-  if (vn2::linalg::simd_available()) rows.push_back({Backend::kSimd});
+    rows.push_back({Backend::kBlocked, {}, {}, {}, 0.0, 0.0, 0.0});
+  if (vn2::linalg::simd_available())
+    rows.push_back({Backend::kSimd, {}, {}, {}, 0.0, 0.0, 0.0});
   // NNLS first, while no pool exists: its per-solve cost is microseconds,
   // so idle multi-thread workers from an earlier phase would swamp it.
-  for (Row& row : rows) row.nnls_1t = time_nnls(row.backend, &row.nnls_sum);
+  for (Row& row : rows) time_nnls(row.backend, &row.nnls_1t, &row.nnls_sum);
   for (Row& row : rows)
-    row.fac_1t = time_factorize(row.backend, 1, &row.obj_1t);
+    time_factorize(row.backend, 1, &row.fac_1t, &row.obj_1t);
   for (Row& row : rows)
-    row.fac_mt = time_factorize(row.backend, parallel_threads, &row.obj_mt);
+    time_factorize(row.backend, parallel_threads, &row.fac_mt, &row.obj_mt);
   vn2::core::set_num_threads(0);
   vn2::linalg::set_backend(vn2::linalg::parse_backend("auto").value());
 
@@ -301,94 +328,102 @@ void run_linalg_backend_report(const char* json_path) {
   }
   const bool within_tolerance = max_rel_dev <= 1e-12;
 
-  auto speedup_over = [&](Backend num, Backend den, double Row::*field) {
-    const Row* a = nullptr;
-    const Row* b = nullptr;
-    for (const Row& row : rows) {
-      if (row.backend == num) a = &row;
-      if (row.backend == den) b = &row;
-    }
-    return (a && b && *a.*field > 0.0) ? *b.*field / (*a.*field) : 0.0;
+  // Per-rep speedup samples: pairing rep i of the slow backend with rep i
+  // of the fast one keeps shared machine noise (thermal drift, neighbours)
+  // out of the ratio, which is what makes these metrics gateable across
+  // runs on the same host class.
+  auto find_row = [&](Backend be) -> const Row* {
+    for (const Row& row : rows)
+      if (row.backend == be) return &row;
+    return nullptr;
   };
-  const double blk_speedup_1t =
-      speedup_over(Backend::kBlocked, Backend::kReference, &Row::fac_1t);
-  const double simd_speedup_1t =
-      speedup_over(Backend::kSimd, Backend::kBlocked, &Row::fac_1t);
-  const double simd_nnls_speedup =
-      speedup_over(Backend::kSimd, Backend::kBlocked, &Row::nnls_1t);
+  auto speedup_samples = [&](Backend fast, Backend slow,
+                             std::vector<double> Row::*field) {
+    const Row* f = find_row(fast);
+    const Row* s = find_row(slow);
+    std::vector<double> out;
+    if (f == nullptr || s == nullptr) return out;
+    const std::size_t n = std::min((*f.*field).size(), (*s.*field).size());
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back((*f.*field)[i] > 0.0 ? (*s.*field)[i] / (*f.*field)[i]
+                                         : 0.0);
+    return out;
+  };
+  auto median_of = [](const std::vector<double>& samples) {
+    return samples.empty() ? 0.0 : vn2::benchstat::summarize(samples).median;
+  };
+  const std::vector<double> blk_fac_speedup =
+      speedup_samples(Backend::kBlocked, Backend::kReference, &Row::fac_1t);
+  const std::vector<double> simd_fac_speedup =
+      speedup_samples(Backend::kSimd, Backend::kBlocked, &Row::fac_1t);
+  const std::vector<double> blk_nnls_speedup =
+      speedup_samples(Backend::kBlocked, Backend::kReference, &Row::nnls_1t);
+  const std::vector<double> simd_nnls_speedup =
+      speedup_samples(Backend::kSimd, Backend::kBlocked, &Row::nnls_1t);
 
   for (const Row& row : rows)
-    std::printf("linalg backend %-9s factorize 2000x86 r=25 (60 iters): "
-                "%.3fs @1t, %.3fs @%zut; nnls 86x25 x%zu: %.3fs\n",
-                vn2::linalg::backend_name(row.backend), row.fac_1t, row.fac_mt,
-                parallel_threads, nnls_batch, row.nnls_1t);
+    std::printf("linalg backend %-9s factorize %zux86 r=25 (60 iters): "
+                "%.3fs @1t, %.3fs @%zut; nnls 86x25 x%zu: %.3fs "
+                "(medians of %zu)\n",
+                vn2::linalg::backend_name(row.backend), fac_rows,
+                median_of(row.fac_1t), median_of(row.fac_mt),
+                parallel_threads, nnls_batch, median_of(row.nnls_1t), reps);
   std::printf("linalg backends [cpu %s]: blocked/reference %.2fx @1t, "
               "simd/blocked %.2fx @1t (nnls %.2fx); scalar outputs %s, "
               "max relative deviation %.3e (%s 1e-12)\n",
-              vn2::linalg::cpu_features_summary().c_str(), blk_speedup_1t,
-              simd_speedup_1t, simd_nnls_speedup,
+              vn2::linalg::cpu_features_summary().c_str(),
+              median_of(blk_fac_speedup), median_of(simd_fac_speedup),
+              median_of(simd_nnls_speedup),
               scalar_identical ? "identical" : "DIVERGED", max_rel_dev,
               within_tolerance ? "within" : "EXCEEDS");
 
-  std::FILE* out = std::fopen(json_path, "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return;
-  }
-  std::string fac_rows, nnls_rows;
-  char line[160];
+  auto record = vn2::bench_support::make_record(
+      "linalg_backends",
+      "CitySee-scale factorize r=25 (60 iterations) and nnls 86x25 x400, "
+      "per compiled backend");
+  record.environment.threads = parallel_threads;
+  record.scale = {{"rows", static_cast<double>(fac_rows)},
+                  {"cols", 86.0},
+                  {"rank", 25.0},
+                  {"nmf_iterations", 60.0},
+                  {"nnls_batch", static_cast<double>(nnls_batch)},
+                  {"parallel_threads", static_cast<double>(parallel_threads)},
+                  {"backends", static_cast<double>(rows.size())}};
   for (const Row& row : rows) {
-    const char* name = vn2::linalg::backend_name(row.backend);
-    std::snprintf(line, sizeof(line),
-                  "      {\"backend\": \"%s\", \"threads\": 1, "
-                  "\"seconds\": %.6f},\n"
-                  "      {\"backend\": \"%s\", \"threads\": %zu, "
-                  "\"seconds\": %.6f}%s\n",
-                  name, row.fac_1t, name, parallel_threads, row.fac_mt,
-                  &row == &rows.back() ? "" : ",");
-    fac_rows += line;
-    std::snprintf(line, sizeof(line),
-                  "      {\"backend\": \"%s\", \"threads\": 1, "
-                  "\"seconds\": %.6f}%s\n",
-                  name, row.nnls_1t, &row == &rows.back() ? "" : ",");
-    nnls_rows += line;
+    const std::string name = vn2::linalg::backend_name(row.backend);
+    record.cases.push_back(
+        {"factorize/" + name,
+         {vn2::benchstat::make_metric("seconds_1t", "s", true, false,
+                                      row.fac_1t),
+          vn2::benchstat::make_metric("seconds_mt", "s", true, false,
+                                      row.fac_mt)}});
+    record.cases.push_back(
+        {"nnls/" + name,
+         {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                      row.nnls_1t)}});
   }
-  std::fprintf(
-      out,
-      "{\n"
-      "  \"bench\": \"linalg_backends\",\n"
-      "  \"cpu_features\": \"%s\",\n"
-      "  \"blocked_compiled\": %s,\n"
-      "  \"simd_compiled\": %s,\n"
-      "  \"simd_available\": %s,\n"
-      "  \"factorize\": {\n"
-      "    \"workload\": \"factorize 2000x86 r=25, 60 iterations\",\n"
-      "    \"rows\": [\n%s"
-      "    ],\n"
-      "    \"blocked_speedup_1_thread\": %.4f,\n"
-      "    \"simd_speedup_over_blocked_1_thread\": %.4f\n"
-      "  },\n"
-      "  \"nnls\": {\n"
-      "    \"workload\": \"nnls 86x25, %zu solves, 1 thread\",\n"
-      "    \"rows\": [\n%s"
-      "    ],\n"
-      "    \"blocked_speedup\": %.4f,\n"
-      "    \"simd_speedup_over_blocked\": %.4f\n"
-      "  },\n"
-      "  \"scalar_backends_bit_identical\": %s,\n"
-      "  \"max_relative_deviation\": %.6e,\n"
-      "  \"within_parity_tolerance\": %s\n"
-      "}\n",
-      vn2::linalg::cpu_features_summary().c_str(),
-      vn2::linalg::blocked_kernels_compiled() ? "true" : "false",
-      vn2::linalg::simd_kernels_compiled() ? "true" : "false",
-      vn2::linalg::simd_available() ? "true" : "false", fac_rows.c_str(),
-      blk_speedup_1t, simd_speedup_1t, nnls_batch, nnls_rows.c_str(),
-      speedup_over(Backend::kBlocked, Backend::kReference, &Row::nnls_1t),
-      simd_nnls_speedup, scalar_identical ? "true" : "false", max_rel_dev,
-      within_tolerance ? "true" : "false");
-  std::fclose(out);
-  std::printf("linalg backend report -> %s\n", json_path);
+  // The gated metrics are same-machine ratios — core-count and absolute
+  // CPU speed cancel out, so a baseline survives runner changes within a
+  // host class. Absolute seconds above stay informational.
+  vn2::benchstat::Case ratios{"ratios", {}};
+  if (!blk_fac_speedup.empty())
+    ratios.metrics.push_back(vn2::benchstat::make_metric(
+        "blocked_speedup_1t", "x", false, true, blk_fac_speedup));
+  if (!simd_fac_speedup.empty())
+    ratios.metrics.push_back(vn2::benchstat::make_metric(
+        "simd_speedup_over_blocked_1t", "x", false, true, simd_fac_speedup));
+  if (!blk_nnls_speedup.empty())
+    ratios.metrics.push_back(vn2::benchstat::make_metric(
+        "nnls_blocked_speedup", "x", false, true, blk_nnls_speedup));
+  if (!simd_nnls_speedup.empty())
+    ratios.metrics.push_back(vn2::benchstat::make_metric(
+        "nnls_simd_speedup_over_blocked", "x", false, true,
+        simd_nnls_speedup));
+  record.cases.push_back(std::move(ratios));
+  record.checks.push_back(
+      {"scalar_backends_bit_identical", scalar_identical});
+  record.checks.push_back({"within_parity_tolerance", within_tolerance});
+  vn2::bench_support::write_record_file(json_path, record);
 }
 
 // Telemetry overhead on a fixed factorization workload: the same run with
@@ -396,7 +431,8 @@ void run_linalg_backend_report(const char* json_path) {
 // The <3% budget is the acceptance bar for keeping instrumentation always
 // on; a VN2_TELEMETRY=OFF build removes even the paused-path load.
 void run_telemetry_report(const char* json_path) {
-  const Matrix e = exceptions_like(2000, 86, 7);
+  const std::size_t fac_rows = vn2::bench_support::scaled_size(2000, 200);
+  const Matrix e = exceptions_like(fac_rows, 86, 7);
   vn2::nmf::NmfOptions options;
   options.max_iterations = 60;
   options.relative_tolerance = 0.0;  // Fixed work for comparability.
@@ -412,47 +448,66 @@ void run_telemetry_report(const char* json_path) {
   };
   run_once();  // Warm-up: page in the matrices, grow the registry.
 
-  double paused_best = std::numeric_limits<double>::infinity();
-  double collecting_best = std::numeric_limits<double>::infinity();
-  for (int rep = 0; rep < 3; ++rep) {
+  const std::size_t reps = vn2::bench_support::bench_reps();
+  std::vector<double> paused_samples, collecting_samples, ratio_samples;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
     vn2::telemetry::set_collecting(false);
-    paused_best = std::min(paused_best, run_once());
+    paused_samples.push_back(run_once());
     vn2::telemetry::set_collecting(true);
-    collecting_best = std::min(collecting_best, run_once());
+    collecting_samples.push_back(run_once());
+    ratio_samples.push_back(paused_samples.back() > 0.0
+                                ? collecting_samples.back() /
+                                      paused_samples.back()
+                                : 1.0);
   }
   vn2::core::set_num_threads(0);
 
+  const double paused_median =
+      vn2::benchstat::summarize(paused_samples).median;
+  const double collecting_median =
+      vn2::benchstat::summarize(collecting_samples).median;
   const double overhead_percent =
-      paused_best > 0.0
-          ? (collecting_best - paused_best) / paused_best * 100.0
+      paused_median > 0.0
+          ? (collecting_median - paused_median) / paused_median * 100.0
           : 0.0;
-  std::printf("telemetry overhead on factorize 2000x86 r=25 (60 iters): "
-              "paused %.3fs, collecting %.3fs, %.2f%% (budget <3%%)%s\n",
-              paused_best, collecting_best, overhead_percent,
+  // The budget check uses the best rep's ratio: scheduler noise only ever
+  // inflates a rep, so min-over-reps isolates the real instrumentation
+  // cost, while a genuine hot-path regression inflates every rep, the
+  // minimum included.
+  const double best_overhead_percent =
+      (vn2::benchstat::summarize(ratio_samples).min - 1.0) * 100.0;
+  std::printf("telemetry overhead on factorize %zux86 r=25 (60 iters): "
+              "paused %.3fs, collecting %.3fs, %.2f%% median / %.2f%% best "
+              "(%zu reps, budget <3%% best-case)%s\n",
+              fac_rows, paused_median, collecting_median, overhead_percent,
+              best_overhead_percent, reps,
               vn2::telemetry::kCompiledIn ? "" : " [compiled out]");
 
-  std::FILE* out = std::fopen(json_path, "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"telemetry_overhead\",\n"
-               "  \"workload\": \"factorize 2000x86 r=25, 60 iterations\",\n"
-               "  \"telemetry_compiled\": %s,\n"
-               "  \"paused_seconds\": %.6f,\n"
-               "  \"collecting_seconds\": %.6f,\n"
-               "  \"overhead_percent\": %.4f,\n"
-               "  \"within_budget\": %s,\n"
-               "  \"telemetry\": %s\n"
-               "}\n",
-               vn2::telemetry::kCompiledIn ? "true" : "false", paused_best,
-               collecting_best, overhead_percent,
-               overhead_percent < 3.0 ? "true" : "false",
-               vn2::bench_support::telemetry_snapshot_json().c_str());
-  std::fclose(out);
-  std::printf("telemetry report -> %s\n", json_path);
+  auto record = vn2::bench_support::make_record(
+      "telemetry_overhead",
+      "CitySee-scale factorize r=25 (60 iterations), collection paused vs "
+      "collecting, serial");
+  record.environment.threads = 1;
+  record.scale = {{"rows", static_cast<double>(fac_rows)},
+                  {"cols", 86.0},
+                  {"rank", 25.0},
+                  {"nmf_iterations", 60.0}};
+  record.cases.push_back(
+      {"paused",
+       {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                    paused_samples)}});
+  record.cases.push_back(
+      {"collecting",
+       {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                    collecting_samples)}});
+  // The gated quantity is the per-rep ratio, not overhead_percent: a pure
+  // ratio keeps the relative-delta floor meaningful near zero overhead.
+  record.cases.push_back(
+      {"overhead",
+       {vn2::benchstat::make_metric("collecting_over_paused", "x", true, true,
+                                    ratio_samples)}});
+  record.checks.push_back({"within_budget", best_overhead_percent < 3.0});
+  vn2::bench_support::write_record_file(json_path, record);
 }
 
 }  // namespace

@@ -1,11 +1,16 @@
 // Micro-benchmarks: simulator throughput — wall time per simulated hour at
 // testbed and field scales, and the cost of the trace pipeline. After the
-// suites run, the aggregated telemetry snapshot (events, packets, drops
-// across every benchmarked run) lands in BENCH_simulator.json.
+// suites run, a timed tiny-scenario case plus the aggregated telemetry
+// snapshot (events, packets, drops across every benchmarked run) land in
+// BENCH_simulator.json as an observatory record.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "bench_record.hpp"
+#include "benchstat/record.hpp"
 #include "scenario/scenario.hpp"
 #include "telemetry_support.hpp"
 #include "trace/trace.hpp"
@@ -52,20 +57,54 @@ void BM_TracePipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_TracePipeline)->Unit(benchmark::kMillisecond);
 
-void write_telemetry_report(const char* json_path) {
-  std::FILE* out = std::fopen(json_path, "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return;
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  // vn2-lint: allow(nondeterminism-clock)
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Repeated timed samples independent of the google-benchmark suites, so the
+// record carries its own noise estimate: one simulated hour of the 25-node
+// tiny scenario plus the trace pipeline over its packet log.
+void write_report(const char* json_path) {
+  const std::size_t reps = vn2::bench_support::bench_reps();
+  std::vector<double> sim_samples, trace_samples;
+  std::size_t packets = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    // vn2-lint: allow(nondeterminism-clock)
+    auto start = std::chrono::steady_clock::now();
+    ScenarioBundle bundle = vn2::scenario::tiny(25, 3600.0, 11);
+    auto result = bundle.make_simulator().run();
+    sim_samples.push_back(seconds_since(start));
+    packets = result.sink_log.size();
+
+    // vn2-lint: allow(nondeterminism-clock)
+    start = std::chrono::steady_clock::now();
+    auto trace = vn2::trace::build_trace(result);
+    auto states = vn2::trace::extract_states(trace);
+    benchmark::DoNotOptimize(states.size());
+    trace_samples.push_back(seconds_since(start));
   }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"simulator\",\n"
-               "  \"telemetry\": %s\n"
-               "}\n",
-               vn2::bench_support::telemetry_snapshot_json().c_str());
-  std::fclose(out);
-  std::printf("telemetry report -> %s\n", json_path);
+  std::printf("simulate_tiny_hour: %.3fs, trace_pipeline: %.3fs "
+              "(medians of %zu, %zu packets)\n",
+              vn2::benchstat::summarize(sim_samples).median,
+              vn2::benchstat::summarize(trace_samples).median, reps, packets);
+
+  auto record = vn2::bench_support::make_record(
+      "simulator", "tiny 25-node scenario, 1 simulated hour + trace build");
+  record.scale = {{"nodes", 25.0},
+                  {"sim_seconds", 3600.0},
+                  {"packets", static_cast<double>(packets)}};
+  record.cases.push_back(
+      {"simulate_tiny_hour",
+       {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                    sim_samples)}});
+  record.cases.push_back(
+      {"trace_pipeline",
+       {vn2::benchstat::make_metric("seconds", "s", true, false,
+                                    trace_samples)}});
+  vn2::bench_support::write_record_file(json_path, record);
 }
 
 }  // namespace
@@ -75,6 +114,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_telemetry_report("BENCH_simulator.json");
+  write_report("BENCH_simulator.json");
   return 0;
 }

@@ -1,0 +1,110 @@
+// The noise-aware regression gate: compares a set of bench records
+// against a checked-in baseline and decides pass/fail the way vn2-lint
+// does (exit 0 = clean, 1 = findings, 2 = usage/parse error — the exit
+// mapping itself lives in the vn2_benchstat tool).
+//
+// Gate semantics, designed to fire on real regressions and stay quiet on
+// scheduler noise:
+//
+//  * Only metrics marked `gated` in the BASELINE can fail a run; every
+//    other matched metric is compared informationally.
+//  * A gated metric regresses only when BOTH hold: the median moved in
+//    the bad direction by more than the relative floor (default 15%),
+//    AND the interquartile ranges are disjoint in the bad direction
+//    (run.q1 > base.q3 for lower-is-better). Overlapping IQRs mean the
+//    two sample sets are statistically indistinguishable at this rep
+//    count — noise, not regression.
+//  * A baseline entry whose (case, metric) no longer exists in the run
+//    is STALE and fails the gate, mirroring the lint baseline ratchet:
+//    the baseline may never reference dead metrics.
+//  * A failed bit-identity/parity check recorded in a run fails the
+//    gate regardless of timings.
+//
+// The update ratchet (`ratchet_update`) refreshes the baseline from a
+// run but only lets gated metrics improve: a within-floor slowdown keeps
+// the old (better) entry, and a beyond-floor regression refuses the
+// update entirely — so "refresh the baseline" can never launder a real
+// regression in.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "benchstat/record.hpp"
+
+namespace vn2::benchstat {
+
+struct GateOptions {
+  /// Median must move by more than this fraction before a gated metric
+  /// can regress (0.15 = 15%). Between-run swings on a busy host
+  /// routinely reach ~10% even when each run's own reps are tight, so
+  /// the default sits above that band while still catching the 20%+
+  /// moves a real regression produces.
+  double relative_floor = 0.15;
+  /// When true, baseline benches entirely missing from the run fail the
+  /// gate; default is to report them as skipped (partial runs are how
+  /// single benches get checked locally).
+  bool strict = false;
+};
+
+enum class Verdict {
+  kOk,           ///< Matched, within noise.
+  kImproved,     ///< Gated metric got significantly better.
+  kRegressed,    ///< Gated metric got significantly worse.
+  kStale,        ///< Baseline references a metric the run no longer has.
+  kMissing,      ///< Baseline bench absent from the run.
+  kNew,          ///< Run bench/metric absent from the baseline.
+  kCheckFailed,  ///< A run record carried a failed invariant check.
+};
+
+struct Finding {
+  std::string bench;
+  std::string case_name;
+  std::string metric;
+  Verdict verdict = Verdict::kOk;
+  bool gated = false;
+  double base_median = 0.0;
+  double run_median = 0.0;
+  /// Relative move in the BAD direction: +0.25 = 25% worse, negative =
+  /// better. Zero for non-numeric findings (stale, missing, checks).
+  double worse_delta = 0.0;
+};
+
+struct GateReport {
+  std::vector<Finding> findings;
+  std::size_t compared = 0;     ///< Metrics matched baseline <-> run.
+  std::size_t regressions = 0;  ///< Gated metrics that regressed.
+  std::size_t improvements = 0;
+  std::size_t stale = 0;
+  std::size_t failed_checks = 0;
+
+  [[nodiscard]] bool failed() const {
+    return regressions != 0 || stale != 0 || failed_checks != 0;
+  }
+};
+
+/// Compares `run` records against the baseline. Never throws on metric
+/// mismatches — everything lands in the report as findings.
+[[nodiscard]] GateReport compare(const Baseline& baseline,
+                                 const std::vector<Record>& run,
+                                 const GateOptions& options);
+
+/// Human-readable report (one line per noteworthy finding + summary).
+[[nodiscard]] std::string render_text(const GateReport& report);
+
+/// GitHub-flavoured markdown table of the same report.
+[[nodiscard]] std::string render_markdown(const GateReport& report);
+
+struct UpdateResult {
+  Baseline baseline;   ///< The refreshed baseline (valid when !refused).
+  bool refused = false;
+  std::string reason;  ///< Why the update was refused.
+};
+
+/// Shrink-only baseline refresh; see the header comment for semantics.
+[[nodiscard]] UpdateResult ratchet_update(const Baseline& old_baseline,
+                                          const std::vector<Record>& run,
+                                          const GateOptions& options);
+
+}  // namespace vn2::benchstat

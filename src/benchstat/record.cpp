@@ -1,0 +1,630 @@
+#include "benchstat/record.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vn2::benchstat {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON emit helpers.
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string quoted(std::string_view text) {
+  std::string out = "\"";
+  append_escaped(out, text);
+  out += '"';
+  return out;
+}
+
+std::string number(double value) {
+  if (!std::isfinite(value)) return "0";  // JSON has no inf/nan.
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON parser. General enough for any record
+// the writers below emit (plus hand-edited baselines); strict: trailing
+// garbage, unterminated literals, and bad escapes all throw.
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> items;                             // kArray
+  std::vector<std::pair<std::string, Value>> members;  // kObject
+
+  [[nodiscard]] const Value* get(std::string_view key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("benchstat: parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return parse_string();
+      case 't':
+      case 'f':
+        return parse_bool();
+      case 'n':
+        return parse_null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      Value key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key.str), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value parse_string() {
+    Value v;
+    v.kind = Value::Kind::kString;
+    expect('"');
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.str += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case 'n':
+          v.str += '\n';
+          break;
+        case 't':
+          v.str += '\t';
+          break;
+        case 'r':
+          v.str += '\r';
+          break;
+        case 'b':
+          v.str += '\b';
+          break;
+        case 'f':
+          v.str += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          if (std::sscanf(std::string(text_.substr(pos_, 4)).c_str(), "%4x",
+                          &code) != 1)
+            fail("bad \\u escape");
+          pos_ += 4;
+          // Records only escape control characters, so a single byte
+          // suffices; anything above is preserved as-is by the writer.
+          v.str += static_cast<char>(code);
+          break;
+        }
+        default:
+          v.str += esc;  // Covers \" \\ \/.
+      }
+    }
+  }
+
+  Value parse_bool() {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  Value parse_null() {
+    if (text_.substr(pos_, 4) != "null") fail("bad literal");
+    pos_ += 4;
+    return Value{};
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    try {
+      v.num = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Compact re-serialization, used to preserve the opaque telemetry
+/// subtree through a parse → write round trip.
+void serialize_compact(const Value& v, std::string& out) {
+  switch (v.kind) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += v.boolean ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      out += number(v.num);
+      break;
+    case Value::Kind::kString:
+      out += quoted(v.str);
+      break;
+    case Value::Kind::kArray:
+      out += '[';
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        if (i != 0) out += ',';
+        serialize_compact(v.items[i], out);
+      }
+      out += ']';
+      break;
+    case Value::Kind::kObject:
+      out += '{';
+      for (std::size_t i = 0; i < v.members.size(); ++i) {
+        if (i != 0) out += ',';
+        out += quoted(v.members[i].first);
+        out += ':';
+        serialize_compact(v.members[i].second, out);
+      }
+      out += '}';
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Value → struct extraction, with required/optional field accessors.
+
+[[noreturn]] void missing(std::string_view context, std::string_view key) {
+  throw std::runtime_error("benchstat: " + std::string(context) +
+                           ": missing field '" + std::string(key) + "'");
+}
+
+const Value& require(const Value& object, std::string_view context,
+                     std::string_view key) {
+  const Value* v = object.get(key);
+  if (v == nullptr) missing(context, key);
+  return *v;
+}
+
+std::string opt_string(const Value& object, std::string_view key,
+                       std::string fallback = "") {
+  const Value* v = object.get(key);
+  return v != nullptr && v->kind == Value::Kind::kString ? v->str
+                                                         : std::move(fallback);
+}
+
+double opt_number(const Value& object, std::string_view key,
+                  double fallback = 0.0) {
+  const Value* v = object.get(key);
+  return v != nullptr && v->kind == Value::Kind::kNumber ? v->num : fallback;
+}
+
+std::uint64_t opt_u64(const Value& object, std::string_view key,
+                      std::uint64_t fallback = 0) {
+  return static_cast<std::uint64_t>(
+      opt_number(object, key, static_cast<double>(fallback)));
+}
+
+bool opt_bool(const Value& object, std::string_view key, bool fallback) {
+  const Value* v = object.get(key);
+  return v != nullptr && v->kind == Value::Kind::kBool ? v->boolean : fallback;
+}
+
+Metric metric_from_value(const Value& v) {
+  Metric metric;
+  metric.name = require(v, "metric", "name").str;
+  metric.unit = opt_string(v, "unit", "s");
+  metric.lower_is_better = opt_bool(v, "lower_is_better", true);
+  metric.gated = opt_bool(v, "gated", false);
+  if (const Value* samples = v.get("samples"); samples != nullptr) {
+    for (const Value& s : samples->items) metric.samples.push_back(s.num);
+  }
+  if (v.get("median") != nullptr) {
+    metric.stats.median = opt_number(v, "median");
+    metric.stats.min = opt_number(v, "min");
+    metric.stats.max = opt_number(v, "max");
+    metric.stats.q1 = opt_number(v, "q1", metric.stats.median);
+    metric.stats.q3 = opt_number(v, "q3", metric.stats.median);
+  } else if (!metric.samples.empty()) {
+    metric.finalize();
+  } else {
+    throw std::runtime_error("benchstat: metric '" + metric.name +
+                             "' has neither samples nor derived stats");
+  }
+  return metric;
+}
+
+Record record_from_value(const Value& v) {
+  if (v.kind != Value::Kind::kObject)
+    throw std::runtime_error("benchstat: record is not a JSON object");
+  Record record;
+  record.schema_version = static_cast<std::int64_t>(
+      require(v, "record", "schema_version").num);
+  if (record.schema_version > kSchemaVersion)
+    throw std::runtime_error(
+        "benchstat: record schema_version " +
+        std::to_string(record.schema_version) +
+        " is newer than this tool understands (" +
+        std::to_string(kSchemaVersion) + ")");
+  record.bench = require(v, "record", "bench").str;
+  record.workload = opt_string(v, "workload");
+  if (const Value* prov = v.get("provenance"); prov != nullptr) {
+    record.provenance.git_sha = opt_string(*prov, "git_sha", "unknown");
+    record.provenance.timestamp = opt_string(*prov, "timestamp");
+    record.provenance.bench_days = opt_number(*prov, "bench_days");
+    record.provenance.reps = opt_u64(*prov, "reps");
+  }
+  if (const Value* env = v.get("environment"); env != nullptr) {
+    record.environment.cpu_features = opt_string(*env, "cpu_features");
+    record.environment.hardware_concurrency =
+        opt_u64(*env, "hardware_concurrency");
+    record.environment.threads = opt_u64(*env, "threads");
+    record.environment.telemetry_compiled =
+        opt_bool(*env, "telemetry_compiled", true);
+  }
+  if (const Value* scale = v.get("scale"); scale != nullptr) {
+    for (const auto& [name, value] : scale->members)
+      record.scale.emplace_back(name, value.num);
+  }
+  if (const Value* cases = v.get("cases"); cases != nullptr) {
+    for (const Value& c : cases->items) {
+      Case parsed;
+      parsed.name = require(c, "case", "name").str;
+      if (const Value* metrics = c.get("metrics"); metrics != nullptr)
+        for (const Value& m : metrics->items)
+          parsed.metrics.push_back(metric_from_value(m));
+      record.cases.push_back(std::move(parsed));
+    }
+  }
+  if (const Value* checks = v.get("checks"); checks != nullptr) {
+    for (const Value& c : checks->items)
+      record.checks.push_back(Check{require(c, "check", "name").str,
+                                    opt_bool(c, "pass", false)});
+  }
+  if (const Value* res = v.get("resources"); res != nullptr) {
+    record.resources.peak_rss_bytes = opt_u64(*res, "peak_rss_bytes");
+    record.resources.current_rss_bytes = opt_u64(*res, "current_rss_bytes");
+    record.resources.cpu_user_ns = opt_u64(*res, "cpu_user_ns");
+    record.resources.cpu_system_ns = opt_u64(*res, "cpu_system_ns");
+    record.resources.alloc_count = opt_u64(*res, "alloc_count");
+    record.resources.alloc_bytes = opt_u64(*res, "alloc_bytes");
+  }
+  if (const Value* telem = v.get("telemetry"); telem != nullptr)
+    serialize_compact(*telem, record.telemetry_json);
+  return record;
+}
+
+void append_metric(std::string& out, const Metric& metric,
+                   const char* indent) {
+  out += indent;
+  out += "{\"name\": " + quoted(metric.name) +
+         ", \"unit\": " + quoted(metric.unit) + ",\n";
+  out += indent;
+  out += " \"lower_is_better\": ";
+  out += metric.lower_is_better ? "true" : "false";
+  out += ", \"gated\": ";
+  out += metric.gated ? "true" : "false";
+  out += ",\n";
+  out += indent;
+  out += " \"samples\": [";
+  for (std::size_t i = 0; i < metric.samples.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += number(metric.samples[i]);
+  }
+  out += "],\n";
+  out += indent;
+  out += " \"median\": " + number(metric.stats.median) +
+         ", \"min\": " + number(metric.stats.min) +
+         ", \"max\": " + number(metric.stats.max) +
+         ", \"q1\": " + number(metric.stats.q1) +
+         ", \"q3\": " + number(metric.stats.q3) + "}";
+}
+
+void append_record(std::string& out, const Record& record,
+                   const std::string& base_indent) {
+  const std::string i1 = base_indent + "  ";
+  const std::string i2 = base_indent + "    ";
+  const std::string i3 = base_indent + "      ";
+  out += base_indent + "{\n";
+  out += i1 + "\"schema_version\": " + std::to_string(record.schema_version) +
+         ",\n";
+  out += i1 + "\"bench\": " + quoted(record.bench) + ",\n";
+  out += i1 + "\"workload\": " + quoted(record.workload) + ",\n";
+  out += i1 + "\"provenance\": {\"git_sha\": " +
+         quoted(record.provenance.git_sha) +
+         ", \"timestamp\": " + quoted(record.provenance.timestamp) +
+         ", \"bench_days\": " + number(record.provenance.bench_days) +
+         ", \"reps\": " + std::to_string(record.provenance.reps) + "},\n";
+  out += i1 + "\"environment\": {\"cpu_features\": " +
+         quoted(record.environment.cpu_features) +
+         ", \"hardware_concurrency\": " +
+         std::to_string(record.environment.hardware_concurrency) +
+         ", \"threads\": " + std::to_string(record.environment.threads) +
+         ", \"telemetry_compiled\": ";
+  out += record.environment.telemetry_compiled ? "true" : "false";
+  out += "},\n";
+  out += i1 + "\"scale\": {";
+  for (std::size_t i = 0; i < record.scale.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += quoted(record.scale[i].first) + ": " + number(record.scale[i].second);
+  }
+  out += "},\n";
+  out += i1 + "\"cases\": [";
+  for (std::size_t c = 0; c < record.cases.size(); ++c) {
+    out += c == 0 ? "\n" : ",\n";
+    out += i2 + "{\"name\": " + quoted(record.cases[c].name) +
+           ", \"metrics\": [";
+    for (std::size_t m = 0; m < record.cases[c].metrics.size(); ++m) {
+      out += m == 0 ? "\n" : ",\n";
+      append_metric(out, record.cases[c].metrics[m], i3.c_str());
+    }
+    out += record.cases[c].metrics.empty() ? "]}" : "\n" + i2 + "]}";
+  }
+  out += record.cases.empty() ? "],\n" : "\n" + i1 + "],\n";
+  out += i1 + "\"checks\": [";
+  for (std::size_t i = 0; i < record.checks.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"name\": " + quoted(record.checks[i].name) + ", \"pass\": ";
+    out += record.checks[i].pass ? "true" : "false";
+    out += "}";
+  }
+  out += "],\n";
+  out += i1 + "\"resources\": {\"peak_rss_bytes\": " +
+         std::to_string(record.resources.peak_rss_bytes) +
+         ", \"current_rss_bytes\": " +
+         std::to_string(record.resources.current_rss_bytes) +
+         ", \"cpu_user_ns\": " + std::to_string(record.resources.cpu_user_ns) +
+         ", \"cpu_system_ns\": " +
+         std::to_string(record.resources.cpu_system_ns) +
+         ", \"alloc_count\": " + std::to_string(record.resources.alloc_count) +
+         ", \"alloc_bytes\": " + std::to_string(record.resources.alloc_bytes) +
+         "}";
+  if (!record.telemetry_json.empty()) {
+    out += ",\n" + i1 + "\"telemetry\": " + record.telemetry_json;
+  }
+  out += "\n" + base_indent + "}";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Sample statistics.
+
+SampleStats summarize(std::vector<double> samples) {
+  if (samples.empty())
+    throw std::runtime_error("benchstat: cannot summarize zero samples");
+  std::sort(samples.begin(), samples.end());
+  const auto quantile = [&samples](double p) {
+    const double h = p * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(h);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+  };
+  SampleStats stats;
+  stats.min = samples.front();
+  stats.max = samples.back();
+  stats.q1 = quantile(0.25);
+  stats.median = quantile(0.5);
+  stats.q3 = quantile(0.75);
+  return stats;
+}
+
+void Metric::finalize() {
+  if (!samples.empty()) stats = summarize(samples);
+}
+
+Metric make_metric(std::string name, std::string unit, bool lower_is_better,
+                   bool gated, std::vector<double> samples) {
+  Metric metric;
+  metric.name = std::move(name);
+  metric.unit = std::move(unit);
+  metric.lower_is_better = lower_is_better;
+  metric.gated = gated;
+  metric.samples = std::move(samples);
+  metric.finalize();
+  return metric;
+}
+
+const Metric* Case::find_metric(std::string_view metric_name) const {
+  for (const Metric& metric : metrics)
+    if (metric.name == metric_name) return &metric;
+  return nullptr;
+}
+
+const Case* Record::find_case(std::string_view case_name) const {
+  for (const Case& c : cases)
+    if (c.name == case_name) return &c;
+  return nullptr;
+}
+
+const Record* Baseline::find(std::string_view bench) const {
+  for (const Record& record : records)
+    if (record.bench == bench) return &record;
+  return nullptr;
+}
+
+Record* Baseline::find(std::string_view bench) {
+  for (Record& record : records)
+    if (record.bench == bench) return &record;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization entry points.
+
+void write_record(telemetry::Sink& sink, const Record& record) {
+  std::string out;
+  append_record(out, record, "");
+  out += "\n";
+  sink.write(out);
+}
+
+Record read_record(std::string_view text) {
+  Parser parser(text);
+  return record_from_value(parser.parse_document());
+}
+
+void write_baseline(telemetry::Sink& sink, const Baseline& baseline) {
+  std::string out = "{\n  \"schema_version\": " +
+                    std::to_string(baseline.schema_version) +
+                    ",\n  \"records\": [";
+  for (std::size_t i = 0; i < baseline.records.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    append_record(out, baseline.records[i], "    ");
+  }
+  out += baseline.records.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  sink.write(out);
+}
+
+Baseline read_baseline(std::string_view text) {
+  Parser parser(text);
+  const Value document = parser.parse_document();
+  if (document.kind != Value::Kind::kObject)
+    throw std::runtime_error("benchstat: baseline is not a JSON object");
+  Baseline baseline;
+  baseline.schema_version = static_cast<std::int64_t>(
+      require(document, "baseline", "schema_version").num);
+  if (baseline.schema_version > kSchemaVersion)
+    throw std::runtime_error("benchstat: baseline schema_version " +
+                             std::to_string(baseline.schema_version) +
+                             " is newer than this tool understands");
+  if (const Value* records = document.get("records"); records != nullptr)
+    for (const Value& r : records->items)
+      baseline.records.push_back(record_from_value(r));
+  return baseline;
+}
+
+}  // namespace vn2::benchstat

@@ -26,9 +26,23 @@ Vector solve_passive(const Matrix& a, const Vector& b,
   const std::size_t k = passive.size();
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
+  // Genuine reallocations (not warm reuse) are tallied so bench records
+  // can watch the workspace seam: a steady-state solve must not allocate.
+  if (ws.packed.capacity() < m * k) {
+    VN2_COUNT("nnls.workspace.reallocs");
+    VN2_COUNT_N("nnls.workspace.alloc_bytes", m * k * sizeof(double));
+  }
   ws.packed.assign(m * k, 0.0);
-  if (ws.gram.rows() != k || ws.gram.cols() != k) ws.gram = Matrix(k, k);
-  if (ws.rhs.size() != k) ws.rhs = Vector(k);
+  if (ws.gram.rows() != k || ws.gram.cols() != k) {
+    VN2_COUNT("nnls.workspace.reallocs");
+    VN2_COUNT_N("nnls.workspace.alloc_bytes", k * k * sizeof(double));
+    ws.gram = Matrix(k, k);
+  }
+  if (ws.rhs.size() != k) {
+    VN2_COUNT("nnls.workspace.reallocs");
+    VN2_COUNT_N("nnls.workspace.alloc_bytes", k * sizeof(double));
+    ws.rhs = Vector(k);
+  }
   std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
 
   // Gather the passive columns once so the SYRK kernel streams contiguous
@@ -99,8 +113,16 @@ NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options,
   std::vector<bool>& in_passive = ws.in_passive;
   ws.passive.clear();
   std::vector<std::size_t>& passive = ws.passive;
-  if (ws.ax.size() != m) ws.ax = Vector(m);
-  if (ws.gradient.size() != n) ws.gradient = Vector(n);
+  if (ws.ax.size() != m) {
+    VN2_COUNT("nnls.workspace.reallocs");
+    VN2_COUNT_N("nnls.workspace.alloc_bytes", m * sizeof(double));
+    ws.ax = Vector(m);
+  }
+  if (ws.gradient.size() != n) {
+    VN2_COUNT("nnls.workspace.reallocs");
+    VN2_COUNT_N("nnls.workspace.alloc_bytes", n * sizeof(double));
+    ws.gradient = Vector(n);
+  }
 
   std::size_t iter = 0;
   for (; iter < max_iter; ++iter) {

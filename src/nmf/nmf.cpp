@@ -21,9 +21,15 @@ namespace {
 constexpr double kDenominatorFloor = 1e-12;
 
 /// Reallocates only when the wanted shape differs — the workspace pattern:
-/// warm buffers are reused allocation-free across iterations.
+/// warm buffers are reused allocation-free across iterations. Each actual
+/// reallocation is tallied so bench records can prove the warm path stays
+/// allocation-free: in steady state these counters must not move.
 void ensure_shape(Matrix& m, std::size_t rows, std::size_t cols) {
-  if (m.rows() != rows || m.cols() != cols) m = Matrix(rows, cols);
+  if (m.rows() != rows || m.cols() != cols) {
+    VN2_COUNT("nmf.workspace.reallocs");
+    VN2_COUNT_N("nmf.workspace.alloc_bytes", rows * cols * sizeof(double));
+    m = Matrix(rows, cols);
+  }
 }
 
 }  // namespace

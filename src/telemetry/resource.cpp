@@ -1,0 +1,95 @@
+#include "telemetry/resource.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <time.h>
+#endif
+
+namespace vn2::telemetry {
+
+namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+std::uint64_t timeval_ns(const timeval& tv) {
+  return static_cast<std::uint64_t>(tv.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(tv.tv_usec) * 1000ull;
+}
+#endif
+
+#if defined(__linux__)
+// Reads /proc/self/status and extracts the VmHWM (peak RSS) and VmRSS
+// (current RSS) lines, reported by the kernel in kB. Returns false when
+// the file is unavailable (non-proc filesystems, tight sandboxes).
+bool read_proc_status(std::uint64_t* peak_kb, std::uint64_t* current_kb) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) {
+    return false;
+  }
+  bool found_any = false;
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    unsigned long long value = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &value) == 1) {
+      *peak_kb = value;
+      found_any = true;
+    } else if (std::sscanf(line, "VmRSS: %llu kB", &value) == 1) {
+      *current_kb = value;
+      found_any = true;
+    }
+  }
+  std::fclose(file);
+  return found_any;
+}
+#endif
+
+}  // namespace
+
+ResourceUsage sample_resources() noexcept {
+  ResourceUsage usage;
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    usage.sampled = true;
+    usage.cpu_user_ns = timeval_ns(ru.ru_utime);
+    usage.cpu_system_ns = timeval_ns(ru.ru_stime);
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes; everywhere else it is kilobytes.
+    usage.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+    usage.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024ull;
+#endif
+  }
+#endif
+#if defined(__linux__)
+  // /proc/self/status refines the getrusage numbers: VmHWM matches
+  // ru_maxrss but VmRSS (current) has no rusage equivalent.
+  std::uint64_t peak_kb = 0;
+  std::uint64_t current_kb = 0;
+  if (read_proc_status(&peak_kb, &current_kb)) {
+    usage.sampled = true;
+    if (peak_kb != 0) {
+      usage.peak_rss_bytes = peak_kb * 1024ull;
+    }
+    usage.current_rss_bytes = current_kb * 1024ull;
+  }
+#endif
+  return usage;
+}
+
+std::uint64_t thread_cpu_ns() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+  return 0;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace vn2::telemetry

@@ -1,0 +1,45 @@
+// Process-level resource visibility: peak/current RSS and CPU time, the
+// "how much memory and compute did this run actually cost" counterpart to
+// the event counters in telemetry.hpp. The samplers are ordinary library
+// functions (not macros), so they stay available even when the
+// instrumentation macros are compiled out with -DVN2_TELEMETRY=OFF: a
+// bench record or `vn2 profile --json` report always carries a resource
+// snapshot.
+//
+// Platform notes: on Linux the RSS figures come from /proc/self/status
+// (VmHWM / VmRSS); elsewhere the portable getrusage() fallback provides
+// peak RSS and CPU time. On platforms with neither, sample_resources()
+// returns a snapshot with `sampled == false` and all-zero fields — callers
+// must treat zeros as "unknown", never as "no memory used".
+#pragma once
+
+#include <cstdint>
+
+namespace vn2::telemetry {
+
+/// One point-in-time reading of the process's resource usage.
+struct ResourceUsage {
+  std::uint64_t peak_rss_bytes = 0;     ///< High-water resident set size.
+  std::uint64_t current_rss_bytes = 0;  ///< Resident set size right now
+                                        ///< (0 when only getrusage is
+                                        ///< available — it has no current).
+  std::uint64_t cpu_user_ns = 0;        ///< Process user CPU time.
+  std::uint64_t cpu_system_ns = 0;      ///< Process system CPU time.
+  bool sampled = false;  ///< False when the platform provided nothing.
+
+  [[nodiscard]] std::uint64_t cpu_total_ns() const noexcept {
+    return cpu_user_ns + cpu_system_ns;
+  }
+};
+
+/// Samples the current process's RSS and CPU usage. Never throws; on
+/// unsupported platforms the result has `sampled == false`.
+[[nodiscard]] ResourceUsage sample_resources() noexcept;
+
+/// CPU time consumed by the *calling thread*, in nanoseconds, from
+/// CLOCK_THREAD_CPUTIME_ID. Returns 0 when the platform cannot provide
+/// per-thread CPU time; pair two readings to get a span's CPU cost and
+/// compare against its wall-clock duration to see blocking vs compute.
+[[nodiscard]] std::uint64_t thread_cpu_ns() noexcept;
+
+}  // namespace vn2::telemetry

@@ -132,8 +132,28 @@ std::uint64_t u64_field(std::string_view object, std::string_view key) {
   return std::stoull(std::string(raw_field(object, key)));
 }
 
+/// Like u64_field but tolerates a missing key, for fields added after
+/// the format shipped (readers stay compatible with older captures).
+std::uint64_t u64_field_or(std::string_view object, std::string_view key,
+                           std::uint64_t fallback) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  if (object.find(needle) == std::string_view::npos) return fallback;
+  return u64_field(object, key);
+}
+
 std::uint64_t micros_to_ns(double us) {
   return static_cast<std::uint64_t>(us * 1000.0 + 0.5);
+}
+
+std::string resource_json(const ResourceUsage& usage) {
+  std::string out = "{\"sampled\": ";
+  out += usage.sampled ? "true" : "false";
+  out += ", \"peak_rss_bytes\": " + std::to_string(usage.peak_rss_bytes);
+  out += ", \"current_rss_bytes\": " + std::to_string(usage.current_rss_bytes);
+  out += ", \"cpu_user_ns\": " + std::to_string(usage.cpu_user_ns);
+  out += ", \"cpu_system_ns\": " + std::to_string(usage.cpu_system_ns);
+  out += "}";
+  return out;
 }
 
 }  // namespace
@@ -178,9 +198,11 @@ void write_json(Sink& sink, const Snapshot& snapshot) {
            ": {\"count\": " + std::to_string(s.count) +
            ", \"total_ns\": " + std::to_string(s.total_ns) +
            ", \"min_ns\": " + std::to_string(s.min_ns) +
-           ", \"max_ns\": " + std::to_string(s.max_ns) + "}";
+           ", \"max_ns\": " + std::to_string(s.max_ns) +
+           ", \"total_cpu_ns\": " + std::to_string(s.total_cpu_ns) + "}";
   }
   out += snapshot.span_stats.empty() ? "},\n" : "\n  },\n";
+  out += "  \"resource\": " + resource_json(snapshot.resource) + ",\n";
   out += "  \"spans_dropped\": " + std::to_string(snapshot.spans_dropped) +
          "\n}\n";
   sink.write(out);
@@ -191,6 +213,15 @@ void write_json_lines(Sink& sink, const Snapshot& snapshot) {
   out += "{\"type\":\"meta\",\"telemetry_compiled\":";
   out += snapshot.compiled_in ? "true" : "false";
   out += ",\"spans_dropped\":" + std::to_string(snapshot.spans_dropped) + "}\n";
+  out += "{\"type\":\"resource\",\"sampled\":";
+  out += snapshot.resource.sampled ? "true" : "false";
+  out += ",\"peak_rss_bytes\":" +
+         std::to_string(snapshot.resource.peak_rss_bytes) +
+         ",\"current_rss_bytes\":" +
+         std::to_string(snapshot.resource.current_rss_bytes) +
+         ",\"cpu_user_ns\":" + std::to_string(snapshot.resource.cpu_user_ns) +
+         ",\"cpu_system_ns\":" +
+         std::to_string(snapshot.resource.cpu_system_ns) + "}\n";
   for (const auto& [name, value] : snapshot.counters)
     out += "{\"type\":\"counter\",\"name\":" + quoted(name) +
            ",\"value\":" + std::to_string(value) + "}\n";
@@ -208,7 +239,8 @@ void write_json_lines(Sink& sink, const Snapshot& snapshot) {
            ",\"count\":" + std::to_string(s.count) +
            ",\"total_ns\":" + std::to_string(s.total_ns) +
            ",\"min_ns\":" + std::to_string(s.min_ns) +
-           ",\"max_ns\":" + std::to_string(s.max_ns) + "}\n";
+           ",\"max_ns\":" + std::to_string(s.max_ns) +
+           ",\"total_cpu_ns\":" + std::to_string(s.total_cpu_ns) + "}\n";
   sink.write(out);
 }
 
@@ -229,7 +261,8 @@ void write_trace_events(Sink& sink, const Snapshot& snapshot) {
            ",\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(span.thread) +
            ",\"ts\":" + micros(span.start_ns - base) +
            ",\"dur\":" + micros(span.duration_ns) +
-           ",\"args\":{\"depth\":" + std::to_string(span.depth) + "}}";
+           ",\"args\":{\"depth\":" + std::to_string(span.depth) +
+           ",\"cpu_ns\":" + std::to_string(span.cpu_ns) + "}}";
   }
   out += "\n]}\n";
   sink.write(out);
@@ -276,7 +309,16 @@ Snapshot read_json_lines(std::string_view text) {
       s.total_ns = u64_field(line, "total_ns");
       s.min_ns = u64_field(line, "min_ns");
       s.max_ns = u64_field(line, "max_ns");
+      s.total_cpu_ns = u64_field_or(line, "total_cpu_ns", 0);
       snapshot.span_stats.push_back(std::move(s));
+    } else if (type == "resource") {
+      snapshot.resource.sampled =
+          raw_field(line, "sampled") == std::string_view("true");
+      snapshot.resource.peak_rss_bytes = u64_field(line, "peak_rss_bytes");
+      snapshot.resource.current_rss_bytes =
+          u64_field(line, "current_rss_bytes");
+      snapshot.resource.cpu_user_ns = u64_field(line, "cpu_user_ns");
+      snapshot.resource.cpu_system_ns = u64_field(line, "cpu_system_ns");
     } else {
       malformed("unknown record type '" + type + "'");
     }
@@ -309,6 +351,7 @@ std::vector<SpanRecord> read_trace_events(std::string_view text) {
     span.duration_ns = micros_to_ns(double_field(object, "dur"));
     span.thread = static_cast<std::uint32_t>(u64_field(object, "tid"));
     span.depth = static_cast<std::uint32_t>(u64_field(object, "depth"));
+    span.cpu_ns = u64_field_or(object, "cpu_ns", 0);
     spans.push_back(std::move(span));
     pos = close + 1;
   }

@@ -134,6 +134,7 @@ void Registry::record_span(SpanRecord span) {
     stats.name = span.name;
     stats.count = 1;
     stats.total_ns = stats.min_ns = stats.max_ns = span.duration_ns;
+    stats.total_cpu_ns = span.cpu_ns;
     span_stats_.emplace(span.name, std::move(stats));
   } else {
     SpanStats& stats = it->second;
@@ -141,6 +142,7 @@ void Registry::record_span(SpanRecord span) {
     stats.total_ns += span.duration_ns;
     stats.min_ns = std::min(stats.min_ns, span.duration_ns);
     stats.max_ns = std::max(stats.max_ns, span.duration_ns);
+    stats.total_cpu_ns += span.cpu_ns;
   }
   if (spans_.size() < span_capacity_)
     spans_.push_back(std::move(span));
@@ -174,6 +176,7 @@ Snapshot Registry::snapshot() const {
     snap.span_stats.push_back(stats);
   snap.spans = spans_;
   snap.spans_dropped = spans_dropped_;
+  snap.resource = sample_resources();
   return snap;
 }
 
@@ -198,12 +201,14 @@ ScopedSpan::ScopedSpan(const char* name) noexcept : name_(name) {
   if (!collecting()) return;
   armed_ = true;
   depth_ = t_span_depth++;
+  cpu_start_ = thread_cpu_ns();
   start_ = monotonic_ns();
 }
 
 ScopedSpan::~ScopedSpan() {
   if (!armed_) return;
   const std::uint64_t end = monotonic_ns();
+  const std::uint64_t cpu_end = thread_cpu_ns();
   --t_span_depth;
   SpanRecord record;
   record.name = name_;
@@ -211,6 +216,7 @@ ScopedSpan::~ScopedSpan() {
   record.duration_ns = end >= start_ ? end - start_ : 0;
   record.thread = thread_index();
   record.depth = depth_;
+  record.cpu_ns = cpu_end >= cpu_start_ ? cpu_end - cpu_start_ : 0;
   Registry::global().record_span(std::move(record));
 }
 

@@ -34,6 +34,8 @@
 #include <string_view>
 #include <vector>
 
+#include "telemetry/resource.hpp"
+
 namespace vn2::telemetry {
 
 #ifndef VN2_TELEMETRY_ENABLED
@@ -140,6 +142,10 @@ struct SpanRecord {
   std::uint64_t duration_ns = 0;
   std::uint32_t thread = 0;  ///< Small sequential id, stable per thread.
   std::uint32_t depth = 0;   ///< Nesting depth within the thread, 0-based.
+  /// CPU time consumed by the owning thread during the span (0 when the
+  /// platform lacks per-thread CPU clocks). duration_ns >> cpu_ns means
+  /// the span mostly waited; duration_ns ~= cpu_ns means it computed.
+  std::uint64_t cpu_ns = 0;
 };
 
 /// Aggregated statistics for all occurrences of one span name.
@@ -149,6 +155,7 @@ struct SpanStats {
   std::uint64_t total_ns = 0;
   std::uint64_t min_ns = 0;
   std::uint64_t max_ns = 0;
+  std::uint64_t total_cpu_ns = 0;  ///< Sum of per-occurrence cpu_ns.
 };
 
 struct Snapshot {
@@ -159,6 +166,9 @@ struct Snapshot {
   std::vector<SpanStats> span_stats;
   std::vector<SpanRecord> spans;  ///< Raw spans, capped; see spans_dropped.
   std::uint64_t spans_dropped = 0;
+  /// Process RSS / CPU usage sampled when the snapshot was taken (see
+  /// resource.hpp; `resource.sampled` is false on unsupported platforms).
+  ResourceUsage resource;
 
   /// Value of a counter by name, or 0 when absent.
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
@@ -216,6 +226,7 @@ class ScopedSpan {
  private:
   const char* name_;
   std::uint64_t start_ = 0;
+  std::uint64_t cpu_start_ = 0;
   std::uint32_t depth_ = 0;
   bool armed_ = false;
 };

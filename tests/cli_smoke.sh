@@ -34,6 +34,16 @@ grep -q '"traceEvents"' "$WORK/prof_trace.json"
 if grep -q '"telemetry_compiled": true' "$WORK/prof.json"; then
   grep -q '"nnls.solves"' "$WORK/prof.json"
 fi
+# --json swaps the human report for the machine-readable snapshot on
+# stdout, including the process resource block.
+"$VN2" profile --scenario tiny --nodes 12 --days 0.05 --seed 9 --rank 5 \
+    --json > "$WORK/prof_stdout.json"
+grep -q '"counters"' "$WORK/prof_stdout.json"
+grep -q '"resource"' "$WORK/prof_stdout.json"
+if grep -q "pipeline:" "$WORK/prof_stdout.json"; then
+  echo "profile --json leaked human output onto stdout" >&2
+  exit 1
+fi
 # The kernel-backend selector is a global flag: forcing the scalar
 # reference backend must work on any build, and an unknown backend name
 # is a usage error.

@@ -91,7 +91,8 @@ int usage() {
       "  vn2 stats     --trace trace.csv\n"
       "  vn2 profile   --scenario tiny|testbed|citysee [--days D] [--seed S]\n"
       "                [--nodes N] [--rank R] [--top K] [--out snap.json]\n"
-      "                [--trace-out trace.json]\n"
+      "                [--trace-out trace.json] [--json]  (--json prints the\n"
+      "                 snapshot — spans, counters, resources — to stdout)\n"
       "\n"
       "global options:\n"
       "  --threads N   thread budget for analysis/simulation hot paths\n"
@@ -444,8 +445,11 @@ int cmd_profile(const Args& args) {
   }
   const auto seed = static_cast<std::uint64_t>(args.number("seed", 7));
   const auto top = static_cast<std::size_t>(args.number("top", 12));
+  // --json: machine-readable mode — the only stdout output is the
+  // telemetry snapshot JSON (spans, counters, resource usage).
+  const bool json = args.flag("json");
 
-  if (!telemetry::kCompiledIn)
+  if (!telemetry::kCompiledIn && !json)
     std::printf("note: built with VN2_TELEMETRY=OFF; macro instrumentation "
                 "is compiled out\n");
   telemetry::Registry::global().reset();
@@ -454,9 +458,10 @@ int cmd_profile(const Args& args) {
   // The full pipeline, end to end: simulate -> assemble trace -> extract
   // states -> train (rank sweep + NMF) -> batch diagnosis.
   scenario::ScenarioBundle bundle = make_scenario_bundle(kind, args, seed);
-  std::printf("profiling '%s': %zu nodes, %.2f h, %zu threads\n",
-              kind.c_str(), bundle.config.positions.size(),
-              bundle.config.duration / 3600.0, core::num_threads());
+  if (!json)
+    std::printf("profiling '%s': %zu nodes, %.2f h, %zu threads\n",
+                kind.c_str(), bundle.config.positions.size(),
+                bundle.config.duration / 3600.0, core::num_threads());
   wsn::Simulator sim = bundle.make_simulator();
   const wsn::SimulationResult result = sim.run();
   const trace::Trace log = trace::build_trace(result);
@@ -478,34 +483,54 @@ int cmd_profile(const Args& args) {
   std::size_t exceptions = 0;
   for (const core::Diagnosis& d : diagnoses)
     if (d.is_exception) ++exceptions;
-  std::printf("pipeline: %zu states, rank %zu, %zu exceptions, %.3f s\n",
-              states.size(), report.chosen_rank, exceptions, elapsed);
 
   telemetry::Snapshot snapshot = telemetry::Registry::global().snapshot();
-  std::sort(snapshot.span_stats.begin(), snapshot.span_stats.end(),
-            [](const telemetry::SpanStats& a, const telemetry::SpanStats& b) {
-              return a.total_ns > b.total_ns;
-            });
-  std::printf("\nspans (top %zu by total time):\n", top);
-  std::printf("  %-28s %10s %12s %12s\n", "name", "count", "total ms",
-              "mean ms");
-  for (std::size_t i = 0; i < snapshot.span_stats.size() && i < top; ++i) {
-    const telemetry::SpanStats& s = snapshot.span_stats[i];
-    std::printf("  %-28s %10llu %12.3f %12.3f\n", s.name.c_str(),
-                static_cast<unsigned long long>(s.count),
-                static_cast<double>(s.total_ns) / 1e6,
-                static_cast<double>(s.total_ns) / 1e6 /
-                    static_cast<double>(s.count));
+  if (json) {
+    telemetry::StringSink sink;
+    telemetry::write_json(sink, snapshot);
+    std::fputs(sink.str().c_str(), stdout);
+  } else {
+    std::printf("pipeline: %zu states, rank %zu, %zu exceptions, %.3f s\n",
+                states.size(), report.chosen_rank, exceptions, elapsed);
+    std::sort(
+        snapshot.span_stats.begin(), snapshot.span_stats.end(),
+        [](const telemetry::SpanStats& a, const telemetry::SpanStats& b) {
+          return a.total_ns > b.total_ns;
+        });
+    // wall = steady-clock elapsed summed over entries; cpu = per-thread
+    // CPU time inside the span. cpu >> wall means parallel sections,
+    // wall >> cpu means blocking/waiting.
+    std::printf("\nspans (top %zu by total time):\n", top);
+    std::printf("  %-28s %10s %12s %12s %12s\n", "name", "count", "total ms",
+                "mean ms", "cpu ms");
+    for (std::size_t i = 0; i < snapshot.span_stats.size() && i < top; ++i) {
+      const telemetry::SpanStats& s = snapshot.span_stats[i];
+      std::printf("  %-28s %10llu %12.3f %12.3f %12.3f\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<double>(s.total_ns) / 1e6,
+                  static_cast<double>(s.total_ns) / 1e6 /
+                      static_cast<double>(s.count),
+                  static_cast<double>(s.total_cpu_ns) / 1e6);
+    }
+    std::printf("\ncounters:\n");
+    for (const auto& [name, value] : snapshot.counters)
+      std::printf("  %-28s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    for (const auto& [name, h] : snapshot.histograms)
+      std::printf("  %-28s n=%llu mean=%.0fns min=%lluns max=%lluns\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean(), static_cast<unsigned long long>(h.min),
+                  static_cast<unsigned long long>(h.max));
+    if (snapshot.resource.sampled)
+      std::printf("\nresources: peak rss %.1f MiB, current %.1f MiB, "
+                  "cpu %.3fs user + %.3fs system\n",
+                  static_cast<double>(snapshot.resource.peak_rss_bytes) /
+                      (1024.0 * 1024.0),
+                  static_cast<double>(snapshot.resource.current_rss_bytes) /
+                      (1024.0 * 1024.0),
+                  static_cast<double>(snapshot.resource.cpu_user_ns) / 1e9,
+                  static_cast<double>(snapshot.resource.cpu_system_ns) / 1e9);
   }
-  std::printf("\ncounters:\n");
-  for (const auto& [name, value] : snapshot.counters)
-    std::printf("  %-28s %12llu\n", name.c_str(),
-                static_cast<unsigned long long>(value));
-  for (const auto& [name, h] : snapshot.histograms)
-    std::printf("  %-28s n=%llu mean=%.0fns min=%lluns max=%lluns\n",
-                name.c_str(), static_cast<unsigned long long>(h.count),
-                h.mean(), static_cast<unsigned long long>(h.min),
-                static_cast<unsigned long long>(h.max));
 
   const std::string out = args.get("out");
   if (!out.empty()) write_telemetry_file(out, /*chrome_trace=*/false);
