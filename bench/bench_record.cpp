@@ -93,4 +93,27 @@ bool write_record_file(const char* path, benchstat::Record& record) {
   return true;
 }
 
+benchstat::CaseResources case_resources(
+    const telemetry::ResourceSampler& sampler, std::size_t max_points) {
+  benchstat::CaseResources resources;
+  const std::vector<telemetry::ResourceSample> series = sampler.series();
+  if (series.empty()) return resources;  // Compiled out or never started.
+  resources.sampled = true;
+  resources.peak_rss_bytes = sampler.peak_rss_bytes();
+  resources.interval_ms = sampler.options().interval_ms;
+  // Downsample by striding so the record stays compact however long the
+  // case ran; first and last samples are always kept.
+  const std::size_t points = std::min(std::max<std::size_t>(max_points, 2),
+                                      series.size());
+  const std::uint64_t t0 = series.front().t_ns;
+  for (std::size_t p = 0; p < points; ++p) {
+    const std::size_t i = p == points - 1
+                              ? series.size() - 1
+                              : p * series.size() / points;
+    resources.rss_series.push_back(benchstat::RssPoint{
+        (series[i].t_ns - t0) / 1000000, series[i].current_rss_bytes});
+  }
+  return resources;
+}
+
 }  // namespace vn2::bench_support

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "benchstat/record.hpp"
+#include "telemetry/sampler.hpp"
 
 namespace vn2::bench_support {
 
@@ -36,5 +37,13 @@ namespace vn2::bench_support {
 /// "bench-record: path" breadcrumb. Returns false when the file cannot
 /// be opened.
 bool write_record_file(const char* path, benchstat::Record& record);
+
+/// Converts a stopped (or still-running) sampler's captured window into
+/// per-case resources: peak RSS plus an RSS series downsampled to at most
+/// `max_points` evenly spaced samples, timestamped relative to the first.
+/// With telemetry compiled out the sampler never ran and the result has
+/// sampled == false, matching the record-level "unknown" convention.
+[[nodiscard]] benchstat::CaseResources case_resources(
+    const telemetry::ResourceSampler& sampler, std::size_t max_points = 32);
 
 }  // namespace vn2::bench_support

@@ -137,18 +137,24 @@ void run_parallel_report(const char* json_path) {
 
   const std::size_t reps = vn2::bench_support::bench_reps();
   std::vector<double> serial_samples, parallel_samples, speedup_samples;
+  // Per-case RSS windows: each sampler covers every rep of its case.
+  vn2::telemetry::ResourceSampler serial_sampler, parallel_sampler;
   bool identical = true;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     vn2::core::set_num_threads(1);
     // vn2-lint: allow(nondeterminism-clock)
     auto start = std::chrono::steady_clock::now();
+    serial_sampler.start();
     const auto serial = vn2::core::diagnose_batch(report.model, probes);
+    serial_sampler.stop();
     serial_samples.push_back(seconds_since(start));
 
     vn2::core::set_num_threads(parallel_threads);
     // vn2-lint: allow(nondeterminism-clock)
     start = std::chrono::steady_clock::now();
+    parallel_sampler.start();
     const auto parallel = vn2::core::diagnose_batch(report.model, probes);
+    parallel_sampler.stop();
     parallel_samples.push_back(seconds_since(start));
     speedup_samples.push_back(parallel_samples.back() > 0.0
                                   ? serial_samples.back() /
@@ -187,11 +193,13 @@ void run_parallel_report(const char* json_path) {
   record.cases.push_back(
       {"serial",
        {vn2::benchstat::make_metric("seconds", "s", true, false,
-                                    serial_samples)}});
+                                    serial_samples)},
+       vn2::bench_support::case_resources(serial_sampler)});
   record.cases.push_back(
       {"parallel",
        {vn2::benchstat::make_metric("seconds", "s", true, false,
-                                    parallel_samples)}});
+                                    parallel_samples)},
+       vn2::bench_support::case_resources(parallel_sampler)});
   // Core-count-dependent, therefore informational rather than gated.
   record.cases.push_back(
       {"parallel_vs_serial",
@@ -336,23 +344,30 @@ void run_stream_report(const char* json_path) {
   options.batch_size = 2048;
   const std::size_t reps = vn2::bench_support::bench_reps();
   std::vector<double> batch_samples, stream_samples, speedup_samples;
+  // The RSS series is the point of this comparison: streaming should
+  // plateau at one batch while one-shot grows with the whole stream.
+  vn2::telemetry::ResourceSampler batch_sampler, stream_sampler;
   bool identical = true;
   std::size_t batches = 0;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     // vn2-lint: allow(nondeterminism-clock)
     auto start = std::chrono::steady_clock::now();
+    batch_sampler.start();
     const auto one_shot = vn2::core::diagnose_batch(report.model, probes);
+    batch_sampler.stop();
     batch_samples.push_back(seconds_since(start));
 
     std::vector<vn2::core::Diagnosis> streamed;
     streamed.reserve(total);
     // vn2-lint: allow(nondeterminism-clock)
     start = std::chrono::steady_clock::now();
+    stream_sampler.start();
     const auto stream_report = vn2::core::diagnose_stream(
         report.model, probes, options,
         [&](std::size_t, const std::vector<vn2::core::Diagnosis>& chunk) {
           streamed.insert(streamed.end(), chunk.begin(), chunk.end());
         });
+    stream_sampler.stop();
     stream_samples.push_back(seconds_since(start));
     speedup_samples.push_back(stream_samples.back() > 0.0
                                   ? batch_samples.back() /
@@ -399,11 +414,13 @@ void run_stream_report(const char* json_path) {
   record.cases.push_back(
       {"diagnose_batch",
        {vn2::benchstat::make_metric("seconds", "s", true, false,
-                                    batch_samples)}});
+                                    batch_samples)},
+       vn2::bench_support::case_resources(batch_sampler)});
   record.cases.push_back(
       {"diagnose_stream",
        {vn2::benchstat::make_metric("seconds", "s", true, false,
-                                    stream_samples)}});
+                                    stream_samples)},
+       vn2::bench_support::case_resources(stream_sampler)});
   // Both paths share the thread budget, so their ratio is core-count
   // independent and safe to gate.
   record.cases.push_back(

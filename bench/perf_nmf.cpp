@@ -144,20 +144,26 @@ void run_parallel_report(const char* json_path) {
   const std::size_t reps = vn2::bench_support::bench_reps();
 
   std::vector<double> serial_samples, parallel_samples, speedup_samples;
+  // Per-case RSS windows: each sampler covers every rep of its case.
+  vn2::telemetry::ResourceSampler serial_sampler, parallel_sampler;
   bool identical = true;
   std::size_t chosen_rank = 0;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     vn2::core::set_num_threads(1);
     // vn2-lint: allow(nondeterminism-clock)
     auto start = std::chrono::steady_clock::now();
+    serial_sampler.start();
     const auto serial_sweep = vn2::nmf::rank_sweep(e, ranks, options);
+    serial_sampler.stop();
     serial_samples.push_back(seconds_since(start));
     const auto serial_choice = vn2::nmf::choose_rank(serial_sweep);
 
     vn2::core::set_num_threads(parallel_threads);
     // vn2-lint: allow(nondeterminism-clock)
     start = std::chrono::steady_clock::now();
+    parallel_sampler.start();
     const auto parallel_sweep = vn2::nmf::rank_sweep(e, ranks, options);
+    parallel_sampler.stop();
     parallel_samples.push_back(seconds_since(start));
     const auto parallel_choice = vn2::nmf::choose_rank(parallel_sweep);
     speedup_samples.push_back(parallel_samples.back() > 0.0
@@ -209,11 +215,13 @@ void run_parallel_report(const char* json_path) {
   record.cases.push_back(
       {"serial",
        {vn2::benchstat::make_metric("seconds", "s", true, false,
-                                    serial_samples)}});
+                                    serial_samples)},
+       vn2::bench_support::case_resources(serial_sampler)});
   record.cases.push_back(
       {"parallel",
        {vn2::benchstat::make_metric("seconds", "s", true, false,
-                                    parallel_samples)}});
+                                    parallel_samples)},
+       vn2::bench_support::case_resources(parallel_sampler)});
   // Core-count-dependent, so informational rather than gated: a 4-core CI
   // runner must not fail a baseline recorded on 16 cores.
   record.cases.push_back(

@@ -71,19 +71,26 @@ void write_report(const char* json_path) {
   const std::size_t reps = vn2::bench_support::bench_reps();
   std::vector<double> sim_samples, trace_samples;
   std::size_t packets = 0;
+  // One sampler per case: start/stop cycles append into the same ring,
+  // so each case's series covers all of its reps and nothing else.
+  vn2::telemetry::ResourceSampler sim_sampler, trace_sampler;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     // vn2-lint: allow(nondeterminism-clock)
     auto start = std::chrono::steady_clock::now();
+    sim_sampler.start();
     ScenarioBundle bundle = vn2::scenario::tiny(25, 3600.0, 11);
     auto result = bundle.make_simulator().run();
+    sim_sampler.stop();
     sim_samples.push_back(seconds_since(start));
     packets = result.sink_log.size();
 
     // vn2-lint: allow(nondeterminism-clock)
     start = std::chrono::steady_clock::now();
+    trace_sampler.start();
     auto trace = vn2::trace::build_trace(result);
     auto states = vn2::trace::extract_states(trace);
     benchmark::DoNotOptimize(states.size());
+    trace_sampler.stop();
     trace_samples.push_back(seconds_since(start));
   }
   std::printf("simulate_tiny_hour: %.3fs, trace_pipeline: %.3fs "
@@ -99,11 +106,13 @@ void write_report(const char* json_path) {
   record.cases.push_back(
       {"simulate_tiny_hour",
        {vn2::benchstat::make_metric("seconds", "s", true, false,
-                                    sim_samples)}});
+                                    sim_samples)},
+       vn2::bench_support::case_resources(sim_sampler)});
   record.cases.push_back(
       {"trace_pipeline",
        {vn2::benchstat::make_metric("seconds", "s", true, false,
-                                    trace_samples)}});
+                                    trace_samples)},
+       vn2::bench_support::case_resources(trace_sampler)});
   vn2::bench_support::write_record_file(json_path, record);
 }
 

@@ -405,6 +405,17 @@ Record record_from_value(const Value& v) {
       if (const Value* metrics = c.get("metrics"); metrics != nullptr)
         for (const Value& m : metrics->items)
           parsed.metrics.push_back(metric_from_value(m));
+      // Optional: cases written before per-case sampling existed parse
+      // with resources.sampled == false.
+      if (const Value* res = c.get("resources"); res != nullptr) {
+        parsed.resources.sampled = opt_bool(*res, "sampled", false);
+        parsed.resources.peak_rss_bytes = opt_u64(*res, "peak_rss_bytes");
+        parsed.resources.interval_ms = opt_u64(*res, "interval_ms");
+        if (const Value* series = res->get("rss_series"); series != nullptr)
+          for (const Value& p : series->items)
+            parsed.resources.rss_series.push_back(
+                RssPoint{opt_u64(p, "offset_ms"), opt_u64(p, "bytes")});
+      }
       record.cases.push_back(std::move(parsed));
     }
   }
@@ -490,7 +501,21 @@ void append_record(std::string& out, const Record& record,
       out += m == 0 ? "\n" : ",\n";
       append_metric(out, record.cases[c].metrics[m], i3.c_str());
     }
-    out += record.cases[c].metrics.empty() ? "]}" : "\n" + i2 + "]}";
+    out += record.cases[c].metrics.empty() ? "]" : "\n" + i2 + "]";
+    if (const CaseResources& cr = record.cases[c].resources; cr.sampled) {
+      out += ",\n" + i2 +
+             " \"resources\": {\"sampled\": true, \"peak_rss_bytes\": " +
+             std::to_string(cr.peak_rss_bytes) +
+             ", \"interval_ms\": " + std::to_string(cr.interval_ms) +
+             ", \"rss_series\": [";
+      for (std::size_t p = 0; p < cr.rss_series.size(); ++p) {
+        if (p != 0) out += ", ";
+        out += "{\"offset_ms\": " + std::to_string(cr.rss_series[p].offset_ms) +
+               ", \"bytes\": " + std::to_string(cr.rss_series[p].bytes) + "}";
+      }
+      out += "]}";
+    }
+    out += "}";
   }
   out += record.cases.empty() ? "],\n" : "\n" + i1 + "],\n";
   out += i1 + "\"checks\": [";

@@ -66,9 +66,38 @@ struct Metric {
                                  std::vector<double> samples);
 
 /// A named sub-benchmark (e.g. one backend, one thread count).
+/// One point of a per-case RSS time series: offset from the case's first
+/// sample, in milliseconds, and the resident set at that moment.
+struct RssPoint {
+  std::uint64_t offset_ms = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Per-case resource profile captured by bracketing the case's timed
+/// sections with a telemetry::ResourceSampler. Optional: records written
+/// before this field existed (or on platforms without /proc) parse with
+/// sampled == false.
+struct CaseResources {
+  bool sampled = false;
+  std::uint64_t peak_rss_bytes = 0;  ///< Max RSS seen while the case ran.
+  std::uint64_t interval_ms = 0;     ///< Sampler tick; 0 = unknown.
+  std::vector<RssPoint> rss_series;  ///< Downsampled, oldest first.
+};
+
 struct Case {
   std::string name;
   std::vector<Metric> metrics;
+  CaseResources resources;
+
+  Case() = default;
+  // Keeps the emitters' two-element brace initializers valid now that
+  // per-case resources exist (and optional there, since most cases carry
+  // only metrics).
+  Case(std::string case_name, std::vector<Metric> case_metrics,
+       CaseResources case_resources = {})
+      : name(std::move(case_name)),
+        metrics(std::move(case_metrics)),
+        resources(std::move(case_resources)) {}
 
   [[nodiscard]] const Metric* find_metric(std::string_view metric_name) const;
 };

@@ -172,7 +172,13 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   const std::size_t chunks = (n + chunk - 1) / chunk;
   VN2_COUNT("parallel.regions");
   VN2_COUNT_N("parallel.tasks", chunks);
+  // Workers inherit the submitting thread's span path, so spans opened
+  // inside fn() attribute to the enclosing call tree instead of showing
+  // up as roots. The submitting thread itself still owns its path, and
+  // SpanPathScope refuses the prefix there (its span depth is nonzero).
+  const std::string parent_path = telemetry::current_span_path();
   global_pool().run(chunks, [&](std::size_t c) {
+    telemetry::SpanPathScope scope(parent_path);
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     for (std::size_t i = lo; i < hi; ++i) fn(i);

@@ -1,0 +1,208 @@
+#include "telemetry/profdiff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string_view>
+
+#include "core/contracts.hpp"
+
+namespace vn2::telemetry {
+
+namespace {
+
+/// Relative move of run vs base, +0.25 = 25% slower. A zero base with a
+/// nonzero run is treated as a move from 1 ns, which the absolute floor
+/// then arbitrates.
+double relative_move(std::uint64_t base, std::uint64_t run) {
+  const double denom = base == 0 ? 1.0 : static_cast<double>(base);
+  return static_cast<double>(run) / denom - 1.0;
+}
+
+std::string ms(std::uint64_t ns) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.2f",
+                static_cast<double>(ns) / 1e6);
+  return buffer;
+}
+
+std::string percent(double delta) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%%", delta * 100.0);
+  return buffer;
+}
+
+const char* verdict_label(PathVerdict verdict) {
+  switch (verdict) {
+    case PathVerdict::kRegressed:
+      return "REGRESSED";
+    case PathVerdict::kImproved:
+      return "improved";
+    case PathVerdict::kNew:
+      return "new";
+    case PathVerdict::kVanished:
+      return "vanished";
+    case PathVerdict::kOk:
+      break;
+  }
+  return "ok";
+}
+
+/// Noteworthy deltas in render order: regressions first (worst leading),
+/// then improvements, then one-sided paths.
+std::vector<const PathDelta*> noteworthy(const ProfDiffReport& report) {
+  std::vector<const PathDelta*> out;
+  for (const PathDelta& delta : report.deltas)
+    if (delta.verdict != PathVerdict::kOk) out.push_back(&delta);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PathDelta* a, const PathDelta* b) {
+                     const auto rank = [](const PathDelta* d) {
+                       switch (d->verdict) {
+                         case PathVerdict::kRegressed:
+                           return 0;
+                         case PathVerdict::kImproved:
+                           return 1;
+                         case PathVerdict::kNew:
+                           return 2;
+                         case PathVerdict::kVanished:
+                           return 3;
+                         case PathVerdict::kOk:
+                           break;
+                       }
+                       return 4;
+                     };
+                     if (rank(a) != rank(b)) return rank(a) < rank(b);
+                     return a->wall_delta > b->wall_delta;
+                   });
+  return out;
+}
+
+}  // namespace
+
+ProfDiffReport diff_call_trees(const std::vector<PathProfile>& base,
+                               const std::vector<PathProfile>& run,
+                               const ProfDiffOptions& options) {
+  VN2_CHECK(options.relative_floor >= 0.0,
+            "profdiff relative floor must be non-negative");
+  std::map<std::string_view, const PathProfile*> base_by;
+  std::map<std::string_view, const PathProfile*> run_by;
+  for (const PathProfile& p : base) base_by.emplace(p.path, &p);
+  for (const PathProfile& p : run) run_by.emplace(p.path, &p);
+
+  ProfDiffReport report;
+  for (const auto& [path, b] : base_by) {
+    PathDelta delta;
+    delta.path = std::string(path);
+    delta.base_wall_ns = b->wall_ns;
+    delta.base_excl_ns = b->excl_wall_ns;
+    delta.base_count = b->count;
+    const auto it = run_by.find(path);
+    if (it == run_by.end()) {
+      delta.verdict = PathVerdict::kVanished;
+      ++report.vanished;
+      report.deltas.push_back(std::move(delta));
+      continue;
+    }
+    const PathProfile* r = it->second;
+    delta.run_wall_ns = r->wall_ns;
+    delta.run_excl_ns = r->excl_wall_ns;
+    delta.run_count = r->count;
+    delta.wall_delta = relative_move(b->wall_ns, r->wall_ns);
+    delta.excl_delta = relative_move(b->excl_wall_ns, r->excl_wall_ns);
+    ++report.compared;
+    const std::uint64_t moved = r->wall_ns > b->wall_ns
+                                    ? r->wall_ns - b->wall_ns
+                                    : b->wall_ns - r->wall_ns;
+    if (moved > options.min_delta_ns &&
+        delta.wall_delta > options.relative_floor) {
+      delta.verdict = PathVerdict::kRegressed;
+      ++report.regressions;
+    } else if (moved > options.min_delta_ns &&
+               delta.wall_delta < -options.relative_floor) {
+      delta.verdict = PathVerdict::kImproved;
+      ++report.improvements;
+    }
+    report.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [path, r] : run_by) {
+    if (base_by.count(path) != 0) continue;
+    PathDelta delta;
+    delta.path = std::string(path);
+    delta.verdict = PathVerdict::kNew;
+    delta.run_wall_ns = r->wall_ns;
+    delta.run_excl_ns = r->excl_wall_ns;
+    delta.run_count = r->count;
+    ++report.added;
+    report.deltas.push_back(std::move(delta));
+  }
+  std::sort(report.deltas.begin(), report.deltas.end(),
+            [](const PathDelta& a, const PathDelta& b) {
+              return a.path < b.path;
+            });
+  return report;
+}
+
+std::string render_text(const ProfDiffReport& report) {
+  std::string out = "profile diff: " + std::to_string(report.compared) +
+                    " paths compared, " +
+                    std::to_string(report.regressions) + " regressed, " +
+                    std::to_string(report.improvements) + " improved, " +
+                    std::to_string(report.added) + " new, " +
+                    std::to_string(report.vanished) + " vanished\n";
+  for (const PathDelta* delta : noteworthy(report)) {
+    char line[320];
+    switch (delta->verdict) {
+      case PathVerdict::kNew:
+        std::snprintf(line, sizeof(line), "  %-9s  %-40s (run only: %s ms)\n",
+                      verdict_label(delta->verdict), delta->path.c_str(),
+                      ms(delta->run_wall_ns).c_str());
+        break;
+      case PathVerdict::kVanished:
+        std::snprintf(line, sizeof(line),
+                      "  %-9s  %-40s (base only: %s ms)\n",
+                      verdict_label(delta->verdict), delta->path.c_str(),
+                      ms(delta->base_wall_ns).c_str());
+        break;
+      default:
+        std::snprintf(line, sizeof(line),
+                      "  %-9s  %-40s %s -> %s ms  (%s incl, %s excl)\n",
+                      verdict_label(delta->verdict), delta->path.c_str(),
+                      ms(delta->base_wall_ns).c_str(),
+                      ms(delta->run_wall_ns).c_str(),
+                      percent(delta->wall_delta).c_str(),
+                      percent(delta->excl_delta).c_str());
+    }
+    out += line;
+  }
+  out += report.failed() ? "verdict: FAIL\n" : "verdict: ok\n";
+  return out;
+}
+
+std::string render_markdown(const ProfDiffReport& report) {
+  std::string out =
+      "| path | verdict | base ms | run ms | Δ incl | Δ excl |\n"
+      "|---|---|---:|---:|---:|---:|\n";
+  const auto rows = noteworthy(report);
+  for (const PathDelta* delta : rows) {
+    out += "| `" + delta->path + "` | " + verdict_label(delta->verdict) +
+           " | " + ms(delta->base_wall_ns) + " | " + ms(delta->run_wall_ns) +
+           " | ";
+    if (delta->verdict == PathVerdict::kNew ||
+        delta->verdict == PathVerdict::kVanished)
+      out += "— | — |\n";
+    else
+      out += percent(delta->wall_delta) + " | " +
+             percent(delta->excl_delta) + " |\n";
+  }
+  if (rows.empty())
+    out += "| _no significant deltas_ | ok | | | | |\n";
+  out += "\n";
+  out += std::to_string(report.compared) + " paths compared, " +
+         std::to_string(report.regressions) + " regressed, " +
+         std::to_string(report.improvements) + " improved — **";
+  out += report.failed() ? "FAIL" : "ok";
+  out += "**\n";
+  return out;
+}
+
+}  // namespace vn2::telemetry

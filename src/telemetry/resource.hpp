@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace vn2::telemetry {
 
@@ -30,6 +31,19 @@ struct ResourceUsage {
   [[nodiscard]] std::uint64_t cpu_total_ns() const noexcept {
     return cpu_user_ns + cpu_system_ns;
   }
+};
+
+/// One tick of the time-series ResourceSampler (sampler.hpp): when it was
+/// taken and what the process looked like. Unlike ResourceUsage, these are
+/// meant to be read as a sequence — RSS over time is what distinguishes a
+/// steady plateau from a leak that happens to end below the same peak.
+struct ResourceSample {
+  std::uint64_t t_ns = 0;  ///< monotonic_ns() when the sample was taken.
+  std::uint64_t current_rss_bytes = 0;  ///< 0 = unknown on this platform.
+  std::uint64_t cpu_total_ns = 0;       ///< Process user+system CPU time.
+  /// Values of the counters the sampler was asked to track, in the order
+  /// given in SamplerOptions::counters (empty when none were requested).
+  std::vector<std::uint64_t> counters;
 };
 
 /// Samples the current process's RSS and CPU usage. Never throws; on

@@ -1,0 +1,117 @@
+#include "telemetry/sampler.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "core/contracts.hpp"
+
+namespace vn2::telemetry {
+
+ResourceSampler::ResourceSampler(SamplerOptions options)
+    : options_(std::move(options)) {
+  VN2_CHECK(options_.interval_ms > 0,
+            "sampler interval must be at least 1 ms");
+  VN2_CHECK(options_.capacity > 0, "sampler ring capacity must be > 0");
+}
+
+ResourceSampler::~ResourceSampler() { stop(); }
+
+void ResourceSampler::start() {
+  if (!kCompiledIn) return;  // Kill-switch builds sample nothing.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  if (tracked_.empty() && !options_.counters.empty())
+    for (const std::string& name : options_.counters)
+      tracked_.push_back(&Registry::global().counter(name));
+  ring_.reserve(options_.capacity);
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ResourceSampler::stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+    running_ = false;
+    to_join = std::move(thread_);
+  }
+  wake_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+bool ResourceSampler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+std::vector<ResourceSample> ResourceSampler::series() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < options_.capacity || next_ == 0) return ring_;
+  // The ring wrapped: positions [next_, end) hold the oldest samples.
+  std::vector<ResourceSample> ordered;
+  ordered.reserve(ring_.size());
+  ordered.insert(ordered.end(), ring_.begin() + static_cast<long>(next_),
+                 ring_.end());
+  ordered.insert(ordered.end(), ring_.begin(),
+                 ring_.begin() + static_cast<long>(next_));
+  return ordered;
+}
+
+std::uint64_t ResourceSampler::peak_rss_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_rss_;
+}
+
+std::uint64_t ResourceSampler::total_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void ResourceSampler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+  peak_rss_ = 0;
+}
+
+void ResourceSampler::take_sample_locked() {
+  const ResourceUsage usage = sample_resources();
+  ResourceSample sample;
+  sample.t_ns = monotonic_ns();
+  sample.current_rss_bytes = usage.current_rss_bytes;
+  sample.cpu_total_ns = usage.cpu_total_ns();
+  sample.counters.reserve(tracked_.size());
+  for (const Counter* counter : tracked_)
+    sample.counters.push_back(counter->value());
+  if (sample.current_rss_bytes > peak_rss_)
+    peak_rss_ = sample.current_rss_bytes;
+  ++total_;
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[next_] = std::move(sample);
+    next_ = (next_ + 1) % options_.capacity;
+  }
+}
+
+void ResourceSampler::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    take_sample_locked();
+    if (stop_requested_) return;
+    wake_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                   [this] { return stop_requested_; });
+    if (stop_requested_) {
+      // One closing sample, so a window shorter than the interval still
+      // records both its start and its end.
+      take_sample_locked();
+      return;
+    }
+  }
+}
+
+}  // namespace vn2::telemetry

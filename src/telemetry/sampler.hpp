@@ -1,0 +1,104 @@
+// Time-series resource sampling: a background thread that captures RSS,
+// CPU time, and selected counters into a bounded ring buffer at a fixed
+// interval — the "43 metrics over time" discipline the paper applies to
+// motes, turned on our own process. A point snapshot (resource.hpp) says
+// what the process costs *now*; the series says how it got there, which
+// is what separates a leak from a plateau and lets bench records carry a
+// per-case RSS profile instead of one whole-process high-water mark.
+//
+// Design rules:
+//  * Bounded: the ring holds `capacity` samples; older ones are
+//    overwritten, `total_samples()` keeps counting. Memory is fixed at
+//    start() time, so a sampler can run for hours.
+//  * TSan-clean: ring, flags, and the condition variable share one
+//    mutex; stop() joins the thread before returning. Counter reads are
+//    the same relaxed atomics every other telemetry reader uses.
+//  * No-op under -DVN2_TELEMETRY=OFF: start() returns without spawning a
+//    thread, so instrumented builds and kill-switch builds behave
+//    identically at the call site (series() just stays empty).
+//  * Telemetry never feeds back: the sampler observes /proc and the
+//    registry; it mutates neither.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/resource.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vn2::telemetry {
+
+struct SamplerOptions {
+  std::uint64_t interval_ms = 25;  ///< Tick period; must be > 0.
+  std::size_t capacity = 512;      ///< Ring size in samples; must be > 0.
+  /// Registry counters to capture per tick (resolved once at start(), so
+  /// a name that does not exist yet is created zeroed).
+  std::vector<std::string> counters;
+};
+
+/// Background sampler over a bounded ring buffer. start()/stop() are
+/// idempotent and may be cycled repeatedly — each window appends into the
+/// same ring, which is how a bench brackets every rep of a case with one
+/// sampler. Not thread-safe to drive from multiple threads at once; the
+/// owning thread starts, stops, and reads.
+class ResourceSampler {
+ public:
+  /// Validates the options (throws std::invalid_argument on a zero
+  /// interval or capacity) but allocates nothing until start().
+  explicit ResourceSampler(SamplerOptions options = {});
+  ~ResourceSampler();
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  /// Spawns the sampling thread (no-op when already running or when the
+  /// instrumentation is compiled out). Takes one sample immediately, so
+  /// even a window shorter than the interval is never empty.
+  void start();
+
+  /// Takes a final sample, stops the thread, and joins it. No-op when
+  /// not running. The captured series stays readable afterwards.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// The retained samples, oldest first (at most `capacity` of them).
+  [[nodiscard]] std::vector<ResourceSample> series() const;
+
+  /// Maximum current-RSS seen across every sample ever taken, including
+  /// ones the ring has since overwritten. 0 = unknown on this platform.
+  [[nodiscard]] std::uint64_t peak_rss_bytes() const;
+
+  /// Samples taken since construction (or the last reset()), including
+  /// overwritten ones; total_samples() > series().size() means the ring
+  /// wrapped.
+  [[nodiscard]] std::uint64_t total_samples() const;
+
+  /// Clears the ring, the peak, and the counters; keeps the options.
+  void reset();
+
+  [[nodiscard]] const SamplerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  void loop();
+  void take_sample_locked();
+
+  SamplerOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::vector<ResourceSample> ring_;
+  std::size_t next_ = 0;  ///< Overwrite position once the ring is full.
+  std::uint64_t total_ = 0;
+  std::uint64_t peak_rss_ = 0;
+  std::vector<Counter*> tracked_;  ///< Resolved at start(); stable refs.
+};
+
+}  // namespace vn2::telemetry

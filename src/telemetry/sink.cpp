@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "telemetry/calltree.hpp"
+
 namespace vn2::telemetry {
 
 namespace {
@@ -136,9 +138,21 @@ std::uint64_t u64_field(std::string_view object, std::string_view key) {
 /// the format shipped (readers stay compatible with older captures).
 std::uint64_t u64_field_or(std::string_view object, std::string_view key,
                            std::uint64_t fallback) {
-  const std::string needle = "\"" + std::string(key) + "\":";
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
   if (object.find(needle) == std::string_view::npos) return fallback;
   return u64_field(object, key);
+}
+
+/// String twin of u64_field_or, for the same compatibility reason.
+std::string string_field_or(std::string_view object, std::string_view key,
+                            std::string fallback) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  if (object.find(needle) == std::string_view::npos) return fallback;
+  return string_field(object, key);
 }
 
 std::uint64_t micros_to_ns(double us) {
@@ -202,7 +216,38 @@ void write_json(Sink& sink, const Snapshot& snapshot) {
            ", \"total_cpu_ns\": " + std::to_string(s.total_cpu_ns) + "}";
   }
   out += snapshot.span_stats.empty() ? "},\n" : "\n  },\n";
+  // The call tree: path-keyed rows in preorder, with exclusive times
+  // precomputed so downstream tools (vn2_profdiff) never rebuild the
+  // hierarchy to diff it.
+  const std::vector<PathProfile> paths =
+      flatten(build_call_tree(snapshot.path_stats));
+  out += "  \"call_tree\": {";
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const PathProfile& p = paths[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    " + quoted(p.path) + ": {\"count\": " +
+           std::to_string(p.count) +
+           ", \"wall_ns\": " + std::to_string(p.wall_ns) +
+           ", \"cpu_ns\": " + std::to_string(p.cpu_ns) +
+           ", \"excl_wall_ns\": " + std::to_string(p.excl_wall_ns) +
+           ", \"excl_cpu_ns\": " + std::to_string(p.excl_cpu_ns) + "}";
+  }
+  out += paths.empty() ? "},\n" : "\n  },\n";
   out += "  \"resource\": " + resource_json(snapshot.resource) + ",\n";
+  if (!snapshot.resource_series.empty()) {
+    // Offsets are relative to the first sample; readable and stable
+    // across runs, unlike raw monotonic timestamps.
+    const std::uint64_t t0 = snapshot.resource_series.front().t_ns;
+    out += "  \"resource_series\": [";
+    for (std::size_t i = 0; i < snapshot.resource_series.size(); ++i) {
+      const ResourceSample& s = snapshot.resource_series[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"t_ms\": " + std::to_string((s.t_ns - t0) / 1000000) +
+             ", \"rss_bytes\": " + std::to_string(s.current_rss_bytes) +
+             ", \"cpu_ns\": " + std::to_string(s.cpu_total_ns) + "}";
+    }
+    out += "\n  ],\n";
+  }
   out += "  \"spans_dropped\": " + std::to_string(snapshot.spans_dropped) +
          "\n}\n";
   sink.write(out);
@@ -241,6 +286,13 @@ void write_json_lines(Sink& sink, const Snapshot& snapshot) {
            ",\"min_ns\":" + std::to_string(s.min_ns) +
            ",\"max_ns\":" + std::to_string(s.max_ns) +
            ",\"total_cpu_ns\":" + std::to_string(s.total_cpu_ns) + "}\n";
+  for (const SpanStats& s : snapshot.path_stats)
+    out += "{\"type\":\"path\",\"path\":" + quoted(s.name) +
+           ",\"count\":" + std::to_string(s.count) +
+           ",\"total_ns\":" + std::to_string(s.total_ns) +
+           ",\"min_ns\":" + std::to_string(s.min_ns) +
+           ",\"max_ns\":" + std::to_string(s.max_ns) +
+           ",\"total_cpu_ns\":" + std::to_string(s.total_cpu_ns) + "}\n";
   sink.write(out);
 }
 
@@ -262,7 +314,9 @@ void write_trace_events(Sink& sink, const Snapshot& snapshot) {
            ",\"ts\":" + micros(span.start_ns - base) +
            ",\"dur\":" + micros(span.duration_ns) +
            ",\"args\":{\"depth\":" + std::to_string(span.depth) +
-           ",\"cpu_ns\":" + std::to_string(span.cpu_ns) + "}}";
+           ",\"cpu_ns\":" + std::to_string(span.cpu_ns);
+    if (!span.path.empty()) out += ",\"path\":" + quoted(span.path);
+    out += "}}";
   }
   out += "\n]}\n";
   sink.write(out);
@@ -311,6 +365,15 @@ Snapshot read_json_lines(std::string_view text) {
       s.max_ns = u64_field(line, "max_ns");
       s.total_cpu_ns = u64_field_or(line, "total_cpu_ns", 0);
       snapshot.span_stats.push_back(std::move(s));
+    } else if (type == "path") {
+      SpanStats s;
+      s.name = string_field(line, "path");
+      s.count = u64_field(line, "count");
+      s.total_ns = u64_field(line, "total_ns");
+      s.min_ns = u64_field(line, "min_ns");
+      s.max_ns = u64_field(line, "max_ns");
+      s.total_cpu_ns = u64_field_or(line, "total_cpu_ns", 0);
+      snapshot.path_stats.push_back(std::move(s));
     } else if (type == "resource") {
       snapshot.resource.sampled =
           raw_field(line, "sampled") == std::string_view("true");
@@ -352,6 +415,7 @@ std::vector<SpanRecord> read_trace_events(std::string_view text) {
     span.thread = static_cast<std::uint32_t>(u64_field(object, "tid"));
     span.depth = static_cast<std::uint32_t>(u64_field(object, "depth"));
     span.cpu_ns = u64_field_or(object, "cpu_ns", 0);
+    span.path = string_field_or(object, "path", "");
     spans.push_back(std::move(span));
     pos = close + 1;
   }

@@ -126,16 +126,18 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
-void Registry::record_span(SpanRecord span) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  auto it = span_stats_.find(span.name);
-  if (it == span_stats_.end()) {
+namespace {
+
+void accumulate_span(std::map<std::string, SpanStats, std::less<>>& stats_map,
+                     const std::string& key, const SpanRecord& span) {
+  auto it = stats_map.find(key);
+  if (it == stats_map.end()) {
     SpanStats stats;
-    stats.name = span.name;
+    stats.name = key;
     stats.count = 1;
     stats.total_ns = stats.min_ns = stats.max_ns = span.duration_ns;
     stats.total_cpu_ns = span.cpu_ns;
-    span_stats_.emplace(span.name, std::move(stats));
+    stats_map.emplace(key, std::move(stats));
   } else {
     SpanStats& stats = it->second;
     ++stats.count;
@@ -144,6 +146,17 @@ void Registry::record_span(SpanRecord span) {
     stats.max_ns = std::max(stats.max_ns, span.duration_ns);
     stats.total_cpu_ns += span.cpu_ns;
   }
+}
+
+}  // namespace
+
+void Registry::record_span(SpanRecord span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  accumulate_span(span_stats_, span.name, span);
+  // Spans recorded directly (tests, external producers) may carry no
+  // path; they enter the call tree as roots under their own name.
+  accumulate_span(path_stats_, span.path.empty() ? span.name : span.path,
+                  span);
   if (spans_.size() < span_capacity_)
     spans_.push_back(std::move(span));
   else
@@ -174,6 +187,8 @@ Snapshot Registry::snapshot() const {
   }
   for (const auto& [name, stats] : span_stats_)
     snap.span_stats.push_back(stats);
+  for (const auto& [path, stats] : path_stats_)
+    snap.path_stats.push_back(stats);
   snap.spans = spans_;
   snap.spans_dropped = spans_dropped_;
   snap.resource = sample_resources();
@@ -186,6 +201,7 @@ void Registry::reset() {
   for (auto& [name, metric] : gauges_) metric->reset();
   for (auto& [name, metric] : histograms_) metric->reset();
   span_stats_.clear();
+  path_stats_.clear();
   spans_.clear();
   spans_dropped_ = 0;
 }
@@ -195,12 +211,44 @@ void Registry::reset() {
 
 namespace {
 thread_local std::uint32_t t_span_depth = 0;
+// Incremental call path of the open spans on this thread ("a/b" while
+// inside b): ScopedSpan appends its name on entry and truncates back on
+// exit, so maintaining the path is amortized O(name) with no per-span
+// allocation in steady state (the string's capacity is reused).
+thread_local std::string t_span_path;
+// Ancestry inherited from another thread via SpanPathScope; empty on
+// threads that own their whole path.
+thread_local std::string t_span_prefix;
 }  // namespace
+
+std::string current_span_path() {
+  if (t_span_prefix.empty()) return t_span_path;
+  if (t_span_path.empty()) return t_span_prefix;
+  return t_span_prefix + '/' + t_span_path;
+}
+
+SpanPathScope::SpanPathScope(const std::string& parent_path) {
+  // Adopt the ancestry only on a thread with no span context of its own:
+  // the submitting thread runs batch tasks too, and its open spans
+  // already carry the full path (prefixing would double-count them).
+  if (parent_path.empty() || t_span_depth != 0 || !t_span_path.empty() ||
+      !t_span_prefix.empty())
+    return;
+  t_span_prefix = parent_path;
+  active_ = true;
+}
+
+SpanPathScope::~SpanPathScope() {
+  if (active_) t_span_prefix.clear();
+}
 
 ScopedSpan::ScopedSpan(const char* name) noexcept : name_(name) {
   if (!collecting()) return;
   armed_ = true;
   depth_ = t_span_depth++;
+  path_len_ = t_span_path.size();
+  if (!t_span_path.empty()) t_span_path += '/';
+  t_span_path += name;
   cpu_start_ = thread_cpu_ns();
   start_ = monotonic_ns();
 }
@@ -212,6 +260,8 @@ ScopedSpan::~ScopedSpan() {
   --t_span_depth;
   SpanRecord record;
   record.name = name_;
+  record.path = current_span_path();
+  t_span_path.resize(path_len_);
   record.start_ns = start_;
   record.duration_ns = end >= start_ ? end - start_ : 0;
   record.thread = thread_index();

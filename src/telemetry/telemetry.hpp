@@ -138,6 +138,11 @@ struct HistogramSnapshot {
 /// One completed span occurrence (raw, for trace_event export).
 struct SpanRecord {
   std::string name;
+  /// "/"-joined ancestry ending in `name` ("train/nmf.factorize/
+  /// nnls.solve"). Spans recorded on a pool worker inherit the submitting
+  /// thread's path through SpanPathScope, so the path reads as one
+  /// logical call tree even across threads.
+  std::string path;
   std::uint64_t start_ns = 0;  ///< monotonic_ns() at entry.
   std::uint64_t duration_ns = 0;
   std::uint32_t thread = 0;  ///< Small sequential id, stable per thread.
@@ -164,11 +169,20 @@ struct Snapshot {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
   std::vector<SpanStats> span_stats;
+  /// Same statistics keyed by full call path instead of name (the
+  /// SpanStats::name field holds the path). Unlike `spans` this is an
+  /// aggregate, so it is never truncated by the span retention cap —
+  /// calltree.hpp builds the call tree from it.
+  std::vector<SpanStats> path_stats;
   std::vector<SpanRecord> spans;  ///< Raw spans, capped; see spans_dropped.
   std::uint64_t spans_dropped = 0;
   /// Process RSS / CPU usage sampled when the snapshot was taken (see
   /// resource.hpp; `resource.sampled` is false on unsupported platforms).
   ResourceUsage resource;
+  /// Optional RSS/CPU time series captured by a ResourceSampler
+  /// (sampler.hpp). The registry never fills this — the caller that owns
+  /// the sampler attaches the series before serializing.
+  std::vector<ResourceSample> resource_series;
 
   /// Value of a counter by name, or 0 when absent.
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
@@ -208,6 +222,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::map<std::string, SpanStats, std::less<>> span_stats_;
+  std::map<std::string, SpanStats, std::less<>> path_stats_;
   std::vector<SpanRecord> spans_;
   std::size_t span_capacity_ = 65536;
   std::uint64_t spans_dropped_ = 0;
@@ -227,12 +242,36 @@ class ScopedSpan {
   const char* name_;
   std::uint64_t start_ = 0;
   std::uint64_t cpu_start_ = 0;
+  std::size_t path_len_ = 0;  ///< Thread path length before this span.
   std::uint32_t depth_ = 0;
   bool armed_ = false;
 };
 
 /// Small sequential id for the calling thread (0 = first thread seen).
 [[nodiscard]] std::uint32_t thread_index() noexcept;
+
+/// The calling thread's current span path ("a/b/c"), including any
+/// ancestry inherited through SpanPathScope; empty when no span is open.
+/// This is what parallel_for captures before fanning out, so spans inside
+/// worker tasks attach under the submitting thread's call tree.
+[[nodiscard]] std::string current_span_path();
+
+/// RAII parent attribution for work handed to another thread: while the
+/// scope is alive, spans recorded on this thread record their path under
+/// `parent_path`. Activates only when the thread has no span context of
+/// its own — the submitting thread participates in its own parallel
+/// batches, and its spans already carry the full path — so nesting a
+/// scope inside existing spans (or another scope) is a no-op.
+class SpanPathScope {
+ public:
+  explicit SpanPathScope(const std::string& parent_path);
+  ~SpanPathScope();
+  SpanPathScope(const SpanPathScope&) = delete;
+  SpanPathScope& operator=(const SpanPathScope&) = delete;
+
+ private:
+  bool active_ = false;
+};
 
 }  // namespace vn2::telemetry
 

@@ -146,6 +146,40 @@ TEST(RecordSchema, RoundTripPreservesEverything) {
   EXPECT_NE(parsed.telemetry_json.find("\"counters\""), std::string::npos);
 }
 
+TEST(RecordSchema, PerCaseResourcesRoundTripAndStayOptional) {
+  Record record = make_run("stream_bench", {1.0, 1.1, 0.9});
+  record.cases.push_back({"unsampled", {}});
+  vn2::benchstat::CaseResources& resources = record.cases[0].resources;
+  resources.sampled = true;
+  resources.peak_rss_bytes = 77000000;
+  resources.interval_ms = 25;
+  resources.rss_series = {{0, 50000000}, {25, 66000000}, {75, 77000000}};
+
+  vn2::telemetry::StringSink sink;
+  vn2::benchstat::write_record(sink, record);
+  const Record parsed = vn2::benchstat::read_record(sink.str());
+
+  ASSERT_EQ(parsed.cases.size(), 2u);
+  const vn2::benchstat::CaseResources& got = parsed.cases[0].resources;
+  EXPECT_TRUE(got.sampled);
+  EXPECT_EQ(got.peak_rss_bytes, 77000000u);
+  EXPECT_EQ(got.interval_ms, 25u);
+  ASSERT_EQ(got.rss_series.size(), 3u);
+  EXPECT_EQ(got.rss_series[1].offset_ms, 25u);
+  EXPECT_EQ(got.rss_series[1].bytes, 66000000u);
+  EXPECT_EQ(got.rss_series[2].offset_ms, 75u);
+  // The case without a sampler window parses as "not sampled", matching
+  // records written before per-case resources existed.
+  EXPECT_FALSE(parsed.cases[1].resources.sampled);
+  EXPECT_TRUE(parsed.cases[1].resources.rss_series.empty());
+  // A pre-existing record without the field parses the same way.
+  const Record legacy = vn2::benchstat::read_record(
+      "{\"schema_version\": 1, \"bench\": \"old\", \"cases\": "
+      "[{\"name\": \"only\", \"metrics\": []}]}");
+  ASSERT_EQ(legacy.cases.size(), 1u);
+  EXPECT_FALSE(legacy.cases[0].resources.sampled);
+}
+
 TEST(RecordSchema, BaselineRoundTripKeepsAllRecords) {
   Baseline baseline;
   baseline.records.push_back(make_run("alpha", {1.0, 1.1}));

@@ -44,6 +44,27 @@ if grep -q "pipeline:" "$WORK/prof_stdout.json"; then
   echo "profile --json leaked human output onto stdout" >&2
   exit 1
 fi
+# The snapshot carries the call tree (always, even with telemetry off —
+# the section is just empty then) and a non-negative dropped-span footer
+# in the human report.
+grep -q '"call_tree"' "$WORK/prof_stdout.json"
+"$VN2" profile --scenario tiny --nodes 12 --days 0.05 --seed 9 --rank 5 \
+    | grep -q "spans dropped:"
+# Self-diff of a snapshot is always clean (exit 0), via both the embedded
+# command and the standalone tool when it sits next to the CLI binary.
+"$VN2" profile --diff "$WORK/prof_stdout.json" "$WORK/prof_stdout.json" \
+    | grep -q "verdict: ok"
+PROFDIFF="$(dirname "$VN2")/vn2_profdiff"
+if [ -x "$PROFDIFF" ]; then
+  "$PROFDIFF" "$WORK/prof_stdout.json" "$WORK/prof_stdout.json" \
+      | grep -q "verdict: ok"
+fi
+# Unknown scenarios name the valid ones in the error.
+if "$VN2" profile --scenario bogus 2>"$WORK/scen_err.txt"; then
+  echo "expected usage error for unknown scenario" >&2
+  exit 1
+fi
+grep -q "tiny, testbed, or citysee" "$WORK/scen_err.txt"
 # The kernel-backend selector is a global flag: forcing the scalar
 # reference backend must work on any build, and an unknown backend name
 # is a usage error.

@@ -1,0 +1,17 @@
+// Positive fixture for unchecked-public-entry modeled on the telemetry
+// profiling surface: entry points that subscript or do arithmetic with
+// caller input before any contract check. Linted (never compiled) with
+// public_api = {"sample_window", "diff_ratio"}.
+#include "telemetry/sampler.hpp"
+
+namespace vn2::telemetry {
+
+std::uint64_t sample_window(const Series& series, std::size_t i) {
+  return series[i].rss_bytes;  // subscript with no prior VN2_CHECK: fires
+}
+
+double diff_ratio(double base_ns, double run_ns) {
+  return run_ns / base_ns;  // arithmetic on unchecked input: fires
+}
+
+}  // namespace vn2::telemetry

@@ -1,0 +1,25 @@
+// Negative fixture for unchecked-public-entry: the telemetry profiling
+// entry points validate caller input before the first risky use — the
+// same discipline build_call_tree, diff_call_trees, and the resource
+// sampler constructor follow. Linted (never compiled) with public_api =
+// {"sample_window", "diff_ratio", "merge_counters"}.
+#include "telemetry/sampler.hpp"
+
+namespace vn2::telemetry {
+
+std::uint64_t sample_window(const Series& series, std::size_t i) {
+  VN2_CHECK(i < series.size(), "sample_window: index out of range");
+  return series[i].rss_bytes;
+}
+
+double diff_ratio(double base_ns, double run_ns) {
+  if (base_ns <= 0.0 || run_ns < 0.0)
+    throw std::invalid_argument("diff_ratio: non-positive base");
+  return run_ns / base_ns;
+}
+
+std::uint64_t merge_counters(const Sample& sample) {
+  return sample.total();  // whole-value member call: no precondition
+}
+
+}  // namespace vn2::telemetry

@@ -349,6 +349,31 @@ TEST(Lint, UncheckedPublicEntryIgnoresNonApiFunctions) {
   EXPECT_FALSE(rules_fired(findings).count("unchecked-public-entry"));
 }
 
+TEST(Lint, TelemetryEntryPointsFireWhenUnchecked) {
+  // Fixture modeled on the profiling surface (sampler series access,
+  // profile-diff ratio math): risky parameter uses with no contract.
+  LintOptions options;
+  options.public_api = std::set<std::string>{"sample_window", "diff_ratio"};
+  const auto findings = lint_content(
+      "src/telemetry/bad.cpp", fixture("telemetry_entry.cpp"), options);
+  Anchors anchors;
+  for (const Finding& f : findings)
+    if (f.rule == "unchecked-public-entry") anchors.emplace_back(f.line, f.rule);
+  EXPECT_EQ(anchors, (Anchors{{10, "unchecked-public-entry"},
+                              {14, "unchecked-public-entry"}}));
+}
+
+TEST(Lint, TelemetryEntryContractsStayClean) {
+  // The contract-carrying twin mirrors how the real telemetry entry
+  // points validate (VN2_CHECK, if-throw, whole-value member reads).
+  LintOptions options;
+  options.public_api = std::set<std::string>{
+      "sample_window", "diff_ratio", "merge_counters"};
+  const auto findings = lint_content(
+      "src/telemetry/ok.cpp", fixture("telemetry_entry_ok.cpp"), options);
+  EXPECT_FALSE(rules_fired(findings).count("unchecked-public-entry"));
+}
+
 TEST(Lint, LockInParallelBodyFires) {
   const auto findings =
       lint_content("src/core/bad.cpp", fixture("lock_in_parallel.cpp"));

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "nmf/nmf.hpp"
 #include "scenario/scenario.hpp"
 #include "support/synthetic.hpp"
+#include "telemetry/sampler.hpp"
 #include "telemetry/sink.hpp"
 #include "trace/trace.hpp"
 
@@ -138,8 +141,9 @@ TEST_F(TelemetryTest, JsonLinesRoundTrips) {
 }
 
 TEST_F(TelemetryTest, TraceEventsRoundTrip) {
-  Registry::global().record_span({"alpha", 1000, 250, 0, 0});
-  Registry::global().record_span({"beta.gamma", 1250, 1, 1, 2});
+  Registry::global().record_span({"alpha", "alpha", 1000, 250, 0, 0});
+  Registry::global().record_span(
+      {"beta.gamma", "alpha/beta.gamma", 1250, 1, 1, 2});
   const Snapshot snapshot = Registry::global().snapshot();
 
   StringSink sink;
@@ -148,11 +152,13 @@ TEST_F(TelemetryTest, TraceEventsRoundTrip) {
 
   ASSERT_EQ(parsed.size(), 2u);
   EXPECT_EQ(parsed[0].name, "alpha");
+  EXPECT_EQ(parsed[0].path, "alpha");
   EXPECT_EQ(parsed[0].start_ns, 1000u);
   EXPECT_EQ(parsed[0].duration_ns, 250u);
   EXPECT_EQ(parsed[0].thread, 0u);
   EXPECT_EQ(parsed[0].depth, 0u);
   EXPECT_EQ(parsed[1].name, "beta.gamma");
+  EXPECT_EQ(parsed[1].path, "alpha/beta.gamma");
   EXPECT_EQ(parsed[1].start_ns, 1250u);
   EXPECT_EQ(parsed[1].duration_ns, 1u);
   EXPECT_EQ(parsed[1].thread, 1u);
@@ -380,6 +386,125 @@ TEST_F(TelemetryTest, BatchInferenceAllocationsAreDeterministicAndBounded) {
   const std::uint64_t parallel = reallocs_with(8);
   EXPECT_GE(parallel, serial);
   EXPECT_LE(parallel, serial * 2);
+}
+
+// ---------------------------------------------------------------------------
+// ResourceSampler: the time-series side of resource telemetry. These run
+// in the TSan CI job, so the start/stop/read interleavings are also a
+// data-race check on the sampler's locking.
+
+/// Spins until the sampler has taken at least `want` samples (bounded so
+/// a platform without /proc cannot hang the test).
+void wait_for_samples(const ResourceSampler& sampler, std::uint64_t want) {
+  for (int spin = 0; spin < 2000 && sampler.total_samples() < want; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+TEST_F(TelemetryTest, SamplerRejectsZeroIntervalOrCapacity) {
+  SamplerOptions zero_interval;
+  zero_interval.interval_ms = 0;
+  EXPECT_THROW(ResourceSampler{zero_interval}, std::invalid_argument);
+  SamplerOptions zero_capacity;
+  zero_capacity.capacity = 0;
+  EXPECT_THROW(ResourceSampler{zero_capacity}, std::invalid_argument);
+}
+
+TEST_F(TelemetryTest, SamplerCapturesOrderedSeries) {
+  SamplerOptions options;
+  options.interval_ms = 1;
+  ResourceSampler sampler(options);
+  sampler.start();
+  if (!kCompiledIn) {
+    // Kill-switch builds: start() is a no-op, the series stays empty.
+    EXPECT_FALSE(sampler.running());
+    EXPECT_TRUE(sampler.series().empty());
+    return;
+  }
+  EXPECT_TRUE(sampler.running());
+  wait_for_samples(sampler, 3);
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  const std::vector<ResourceSample> series = sampler.series();
+  ASSERT_GE(series.size(), 3u);  // Immediate + ticks + closing sample.
+  for (std::size_t i = 1; i < series.size(); ++i)
+    EXPECT_GE(series[i].t_ns, series[i - 1].t_ns);
+}
+
+TEST_F(TelemetryTest, SamplerRingWrapsKeepingNewestOldestFirst) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with VN2_TELEMETRY=OFF";
+  SamplerOptions options;
+  options.interval_ms = 1;
+  options.capacity = 4;
+  ResourceSampler sampler(options);
+  sampler.start();
+  wait_for_samples(sampler, 7);
+  sampler.stop();
+  EXPECT_GT(sampler.total_samples(), 4u);
+  const std::vector<ResourceSample> series = sampler.series();
+  ASSERT_EQ(series.size(), 4u);  // Bounded by capacity after the wrap.
+  for (std::size_t i = 1; i < series.size(); ++i)
+    EXPECT_GE(series[i].t_ns, series[i - 1].t_ns);
+}
+
+TEST_F(TelemetryTest, SamplerStartStopAreIdempotentAndRestartable) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with VN2_TELEMETRY=OFF";
+  SamplerOptions options;
+  options.interval_ms = 1;
+  ResourceSampler sampler(options);
+  sampler.stop();  // Stop before ever starting: no-op.
+  EXPECT_EQ(sampler.total_samples(), 0u);
+  sampler.start();
+  sampler.start();  // Second start while running: no-op, no second thread.
+  wait_for_samples(sampler, 2);
+  sampler.stop();
+  sampler.stop();  // Second stop: no-op.
+  const std::uint64_t first_window = sampler.total_samples();
+  EXPECT_GE(first_window, 2u);
+  // Restarting appends into the same ring (how a bench brackets reps).
+  sampler.start();
+  wait_for_samples(sampler, first_window + 2);
+  sampler.stop();
+  EXPECT_GT(sampler.total_samples(), first_window);
+  // reset() clears the window but keeps the sampler usable.
+  sampler.reset();
+  EXPECT_EQ(sampler.total_samples(), 0u);
+  EXPECT_TRUE(sampler.series().empty());
+}
+
+TEST_F(TelemetryTest, SamplerTracksRegistryCounters) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with VN2_TELEMETRY=OFF";
+  Counter& counter = Registry::global().counter("test.sampled_counter");
+  SamplerOptions options;
+  options.interval_ms = 1;
+  options.counters = {"test.sampled_counter"};
+  ResourceSampler sampler(options);
+  sampler.start();
+  counter.add(41);
+  wait_for_samples(sampler, 3);
+  counter.add(1);
+  sampler.stop();
+  const std::vector<ResourceSample> series = sampler.series();
+  ASSERT_FALSE(series.empty());
+  ASSERT_EQ(series.back().counters.size(), 1u);
+  EXPECT_EQ(series.back().counters[0], 42u);  // Closing sample sees both.
+  for (std::size_t i = 1; i < series.size(); ++i)
+    EXPECT_GE(series[i].counters[0], series[i - 1].counters[0]);
+}
+
+TEST_F(TelemetryTest, SamplerPeakSurvivesRingOverwrites) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with VN2_TELEMETRY=OFF";
+  SamplerOptions options;
+  options.interval_ms = 1;
+  options.capacity = 2;
+  ResourceSampler sampler(options);
+  sampler.start();
+  wait_for_samples(sampler, 5);
+  sampler.stop();
+  // Peak tracks every sample ever taken, not just the two retained.
+  std::uint64_t retained_max = 0;
+  for (const ResourceSample& s : sampler.series())
+    retained_max = std::max(retained_max, s.current_rss_bytes);
+  EXPECT_GE(sampler.peak_rss_bytes(), retained_max);
 }
 
 }  // namespace

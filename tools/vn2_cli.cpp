@@ -27,6 +27,9 @@
 #include "linalg/cpu_features.hpp"
 #include "linalg/kernels.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/calltree.hpp"
+#include "telemetry/profdiff.hpp"
+#include "telemetry/sampler.hpp"
 #include "telemetry/sink.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/csv.hpp"
@@ -40,6 +43,7 @@ using namespace vn2;
 struct Args {
   std::map<std::string, std::string> options;
   std::map<std::string, bool> flags;
+  std::vector<std::string> positional;
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback = "") const {
@@ -61,8 +65,10 @@ Args parse_args(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     std::string token = argv[i];
     if (token.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected argument: %s\n", token.c_str());
-      std::exit(2);
+      // Bare tokens are positionals (currently only `profile --diff`
+      // consumes them); each command rejects the ones it has no use for.
+      args.positional.push_back(std::move(token));
+      continue;
     }
     token = token.substr(2);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
@@ -92,7 +98,13 @@ int usage() {
       "  vn2 profile   --scenario tiny|testbed|citysee [--days D] [--seed S]\n"
       "                [--nodes N] [--rank R] [--top K] [--out snap.json]\n"
       "                [--trace-out trace.json] [--json]  (--json prints the\n"
-      "                 snapshot — spans, counters, resources — to stdout)\n"
+      "                 snapshot — spans, call tree, counters, resources —\n"
+      "                 to stdout)\n"
+      "                [--sample-ms N]  (resource time-series sampling\n"
+      "                 interval; default 25, 0 disables the sampler)\n"
+      "  vn2 profile   --diff base.json run.json [--floor F] [--min-ns N]\n"
+      "                [--markdown]  (diff two profile snapshots by call-tree\n"
+      "                 path; exit 1 when a path regressed past the floors)\n"
       "\n"
       "global options:\n"
       "  --threads N   thread budget for analysis/simulation hot paths\n"
@@ -121,6 +133,16 @@ std::string run_output_path(const std::string& out, std::size_t run) {
 
 bool known_scenario(const std::string& kind) {
   return kind == "citysee" || kind == "testbed" || kind == "tiny";
+}
+
+/// Shared unknown-scenario diagnostic: always names the valid choices,
+/// mirroring the --linalg-backend error style.
+int unknown_scenario(const char* command, const std::string& kind) {
+  std::fprintf(stderr,
+               "%s: unknown scenario '%s' (expected tiny, testbed, or "
+               "citysee)\n",
+               command, kind.c_str());
+  return 2;
 }
 
 /// Builds one scenario replication from CLI options (shared by simulate
@@ -168,10 +190,7 @@ int cmd_simulate(const Args& args) {
   auto make_bundle = [&](std::uint64_t run_seed) {
     return make_scenario_bundle(kind, args, run_seed);
   };
-  if (!known_scenario(kind)) {
-    std::fprintf(stderr, "simulate: unknown scenario '%s'\n", kind.c_str());
-    return 2;
-  }
+  if (!known_scenario(kind)) return unknown_scenario("simulate", kind);
 
   if (runs == 1) {
     scenario::ScenarioBundle bundle = make_bundle(seed);
@@ -420,9 +439,11 @@ int cmd_stats(const Args& args) {
 // Telemetry output: the library serializes through a Sink; the file
 // handles live here in the CLI, per the io-in-library rule.
 
-void write_telemetry_file(const std::string& path, bool chrome_trace) {
-  const telemetry::Snapshot snapshot =
-      telemetry::Registry::global().snapshot();
+void write_telemetry_file(
+    const std::string& path, bool chrome_trace,
+    const std::vector<telemetry::ResourceSample>* series = nullptr) {
+  telemetry::Snapshot snapshot = telemetry::Registry::global().snapshot();
+  if (series != nullptr) snapshot.resource_series = *series;
   telemetry::StringSink sink;
   if (chrome_trace)
     telemetry::write_trace_events(sink, snapshot);
@@ -437,12 +458,66 @@ void write_telemetry_file(const std::string& path, bool chrome_trace) {
               path.c_str());
 }
 
-int cmd_profile(const Args& args) {
-  const std::string kind = args.get("scenario", "tiny");
-  if (!known_scenario(kind)) {
-    std::fprintf(stderr, "profile: unknown scenario '%s'\n", kind.c_str());
+std::string read_text_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr)
+    throw std::runtime_error("cannot open for read: " + path);
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+    text.append(buffer, got);
+  std::fclose(file);
+  return text;
+}
+
+/// `vn2 profile --diff base.json run.json`: align two snapshots'
+/// call trees by path and report regressions with benchstat-style exit
+/// codes (0 clean, 1 regression, 2 usage/input error).
+int profile_diff(const Args& args) {
+  const std::string base_path = args.get("diff");
+  if (base_path.empty() || args.positional.size() != 1) {
+    std::fprintf(stderr,
+                 "profile: --diff takes two snapshots: "
+                 "vn2 profile --diff base.json run.json\n");
     return 2;
   }
+  telemetry::ProfDiffOptions options;
+  options.relative_floor = args.number("floor", options.relative_floor);
+  options.min_delta_ns = static_cast<std::uint64_t>(args.number(
+      "min-ns", static_cast<double>(options.min_delta_ns)));
+  if (options.relative_floor < 0.0) {
+    std::fprintf(stderr, "profile: --floor must be non-negative\n");
+    return 2;
+  }
+  telemetry::ProfDiffReport report;
+  try {
+    const auto base =
+        telemetry::read_call_tree_json(read_text_file(base_path));
+    const auto run =
+        telemetry::read_call_tree_json(read_text_file(args.positional[0]));
+    report = telemetry::diff_call_trees(base, run, options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "profile: --diff: %s\n", error.what());
+    return 2;
+  }
+  const std::string rendered = args.flag("markdown")
+                                   ? telemetry::render_markdown(report)
+                                   : telemetry::render_text(report);
+  std::fputs(rendered.c_str(), stdout);
+  return report.failed() ? 1 : 0;
+}
+
+int cmd_profile(const Args& args) {
+  if (!args.get("diff").empty() || args.flag("diff"))
+    return profile_diff(args);
+  if (!args.positional.empty()) {
+    std::fprintf(stderr, "profile: unexpected argument '%s'\n",
+                 args.positional.front().c_str());
+    return 2;
+  }
+  const std::string kind = args.get("scenario", "tiny");
+  if (!known_scenario(kind)) return unknown_scenario("profile", kind);
   const auto seed = static_cast<std::uint64_t>(args.number("seed", 7));
   const auto top = static_cast<std::size_t>(args.number("top", 12));
   // --json: machine-readable mode — the only stdout output is the
@@ -453,6 +528,17 @@ int cmd_profile(const Args& args) {
     std::printf("note: built with VN2_TELEMETRY=OFF; macro instrumentation "
                 "is compiled out\n");
   telemetry::Registry::global().reset();
+
+  // --sample-ms N: background resource time series over the pipeline
+  // (0 disables; the sampler is also a no-op when telemetry is compiled
+  // out). The series rides along in every snapshot written below.
+  const auto sample_ms =
+      static_cast<std::uint64_t>(args.number("sample-ms", 25));
+  telemetry::SamplerOptions sampler_options;
+  sampler_options.interval_ms = sample_ms > 0 ? sample_ms : 1;
+  telemetry::ResourceSampler sampler(sampler_options);
+  if (sample_ms > 0) sampler.start();
+
   const std::uint64_t started = telemetry::monotonic_ns();
 
   // The full pipeline, end to end: simulate -> assemble trace -> extract
@@ -484,7 +570,10 @@ int cmd_profile(const Args& args) {
   for (const core::Diagnosis& d : diagnoses)
     if (d.is_exception) ++exceptions;
 
+  sampler.stop();
+  const std::vector<telemetry::ResourceSample> series = sampler.series();
   telemetry::Snapshot snapshot = telemetry::Registry::global().snapshot();
+  snapshot.resource_series = series;
   if (json) {
     telemetry::StringSink sink;
     telemetry::write_json(sink, snapshot);
@@ -512,6 +601,12 @@ int cmd_profile(const Args& args) {
                       static_cast<double>(s.count),
                   static_cast<double>(s.total_cpu_ns) / 1e6);
     }
+    // The same spans with ancestry: inclusive vs exclusive time per
+    // call path (exclusive = inclusive minus children, the self cost).
+    std::printf("\ncall tree:\n%s",
+                telemetry::render_call_tree(
+                    telemetry::build_call_tree(snapshot.path_stats))
+                    .c_str());
     std::printf("\ncounters:\n");
     for (const auto& [name, value] : snapshot.counters)
       std::printf("  %-28s %12llu\n", name.c_str(),
@@ -530,10 +625,31 @@ int cmd_profile(const Args& args) {
                       (1024.0 * 1024.0),
                   static_cast<double>(snapshot.resource.cpu_user_ns) / 1e9,
                   static_cast<double>(snapshot.resource.cpu_system_ns) / 1e9);
+    if (!series.empty()) {
+      const telemetry::ResourceSample& first = series.front();
+      const telemetry::ResourceSample& last = series.back();
+      std::printf("resource series: %zu samples @ %llu ms (rss %.1f -> "
+                  "%.1f MiB, peak %.1f MiB)\n",
+                  series.size(),
+                  static_cast<unsigned long long>(sample_ms),
+                  static_cast<double>(first.current_rss_bytes) /
+                      (1024.0 * 1024.0),
+                  static_cast<double>(last.current_rss_bytes) /
+                      (1024.0 * 1024.0),
+                  static_cast<double>(sampler.peak_rss_bytes()) /
+                      (1024.0 * 1024.0));
+    }
+    std::printf("\nspans dropped: %llu\n",
+                static_cast<unsigned long long>(snapshot.spans_dropped));
+    if (snapshot.spans_dropped > 0)
+      std::printf("warning: %llu raw spans were dropped at the retention "
+                  "cap; aggregate stats and the call tree still count "
+                  "them, but the chrome trace is incomplete\n",
+                  static_cast<unsigned long long>(snapshot.spans_dropped));
   }
 
   const std::string out = args.get("out");
-  if (!out.empty()) write_telemetry_file(out, /*chrome_trace=*/false);
+  if (!out.empty()) write_telemetry_file(out, /*chrome_trace=*/false, &series);
   const std::string trace_out = args.get("trace-out");
   if (!trace_out.empty())
     write_telemetry_file(trace_out, /*chrome_trace=*/true);
@@ -547,6 +663,13 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args = parse_args(argc, argv, 2);
+    // Only `profile --diff` consumes positionals; anywhere else a bare
+    // token is a typo worth stopping on.
+    if (!args.positional.empty() && command != "profile") {
+      std::fprintf(stderr, "vn2 %s: unexpected argument '%s'\n",
+                   command.c_str(), args.positional.front().c_str());
+      return 2;
+    }
     // Global thread budget: applies to every subcommand's hot paths
     // (matmul, rank sweep, batch NNLS, batch simulation).
     if (!args.get("threads").empty())

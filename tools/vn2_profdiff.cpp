@@ -1,0 +1,101 @@
+// vn2_profdiff — compare two `vn2 profile --json` snapshots by call-tree
+// path and gate on regressions, the profile-level sibling of
+// vn2_benchstat's bench-record gate.
+//
+//   vn2_profdiff [--floor F] [--min-ns N] [--markdown] base.json run.json
+//
+// Exit codes (same contract as vn2_benchstat):
+//   0  no path regressed past the floors
+//   1  at least one path regressed (report printed to stdout)
+//   2  usage error or unreadable/malformed input
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "telemetry/calltree.hpp"
+#include "telemetry/profdiff.hpp"
+
+namespace {
+
+constexpr int kExitPass = 0;
+constexpr int kExitFail = 1;
+constexpr int kExitUsage = 2;
+
+int print_usage() {
+  std::fprintf(
+      stderr,
+      "usage: vn2_profdiff [--floor F] [--min-ns N] [--markdown] "
+      "base.json run.json\n"
+      "  --floor F    relative regression floor (default 0.15 = 15%%)\n"
+      "  --min-ns N   absolute floor in ns; smaller moves are noise\n"
+      "               (default 1000000 = 1 ms)\n"
+      "  --markdown   render a markdown table instead of plain text\n");
+  return kExitUsage;
+}
+
+std::string read_file(const char* path) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr)
+    throw std::runtime_error(std::string("cannot open: ") + path);
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+    text.append(buffer, got);
+  std::fclose(file);
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vn2::telemetry::ProfDiffOptions options;
+  bool markdown = false;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--markdown") == 0) {
+      markdown = true;
+    } else if (std::strcmp(argv[i], "--floor") == 0) {
+      if (++i >= argc) return print_usage();
+      char* end = nullptr;
+      options.relative_floor = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || options.relative_floor < 0.0) {
+        std::fprintf(stderr, "vn2_profdiff: bad --floor '%s'\n", argv[i]);
+        return kExitUsage;
+      }
+    } else if (std::strcmp(argv[i], "--min-ns") == 0) {
+      if (++i >= argc) return print_usage();
+      char* end = nullptr;
+      const double ns = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || ns < 0.0) {
+        std::fprintf(stderr, "vn2_profdiff: bad --min-ns '%s'\n", argv[i]);
+        return kExitUsage;
+      }
+      options.min_delta_ns = static_cast<std::uint64_t>(ns);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "vn2_profdiff: unknown option '%s'\n", argv[i]);
+      return print_usage();
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) return print_usage();
+
+  vn2::telemetry::ProfDiffReport report;
+  try {
+    const auto base = vn2::telemetry::read_call_tree_json(read_file(paths[0]));
+    const auto run = vn2::telemetry::read_call_tree_json(read_file(paths[1]));
+    report = vn2::telemetry::diff_call_trees(base, run, options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "vn2_profdiff: %s\n", error.what());
+    return kExitUsage;
+  }
+  const std::string rendered = markdown
+                                   ? vn2::telemetry::render_markdown(report)
+                                   : vn2::telemetry::render_text(report);
+  std::fputs(rendered.c_str(), stdout);
+  return report.failed() ? kExitFail : kExitPass;
+}
